@@ -1,0 +1,174 @@
+// thermosched: command-line front end for the ThermoSched library.
+//
+//   thermosched schedule [--flp chip.flp --density 1e6 | --alpha]
+//                        [--tl 155] [--stcl 50] [--csv]
+//   thermosched simulate --cores Icache,Dcache [--flp ... --density ...]
+//   thermosched info     [--flp chip.flp | --alpha]
+//
+// `schedule` runs Algorithm 1 and prints the thermal-safe schedule;
+// `simulate` runs one session through the RC oracle and prints per-core
+// peaks plus an ASCII thermal map; `info` prints floorplan statistics
+// (areas, adjacency, boundary exposure, power densities).
+#include <iostream>
+
+#include "core/thermal_scheduler.hpp"
+#include "floorplan/flp_io.hpp"
+#include "soc/alpha.hpp"
+#include "thermal/analyzer.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "viz/heatmap.hpp"
+
+using namespace thermo;
+
+namespace {
+
+struct CommonArgs {
+  std::string flp_path;
+  double density = 1.0e6;
+  bool alpha = false;
+  double tl = 155.0;
+  double stcl = 50.0;
+  double stc_scale = 0.0;  // 0 = auto
+  std::string cores;
+  bool csv = false;
+};
+
+core::SocSpec build_soc(const CommonArgs& args) {
+  if (args.alpha || args.flp_path.empty()) {
+    return soc::alpha_soc();
+  }
+  core::SocSpec soc;
+  soc.flp = floorplan::load_flp(args.flp_path);
+  soc.name = soc.flp.name();
+  soc.package = thermal::PackageParams{};
+  for (std::size_t i = 0; i < soc.flp.size(); ++i) {
+    soc.tests.push_back(
+        core::CoreTest{args.density * soc.flp.block(i).area(), 1.0});
+  }
+  soc.validate();
+  return soc;
+}
+
+double stc_scale_for(const CommonArgs& args) {
+  if (args.stc_scale > 0.0) return args.stc_scale;
+  return args.alpha || args.flp_path.empty() ? soc::alpha_stc_scale() : 2.8e-3;
+}
+
+int cmd_schedule(const CommonArgs& args) {
+  const core::SocSpec soc = build_soc(args);
+  thermal::ThermalAnalyzer analyzer(soc.flp, soc.package);
+  core::ThermalSchedulerOptions options;
+  options.temperature_limit = args.tl;
+  options.stc_limit = args.stcl;
+  options.model.stc_scale = stc_scale_for(args);
+  options.solo_policy = core::SoloViolationPolicy::kRaiseLimit;
+  const core::ThermalAwareScheduler scheduler(options);
+  const core::ScheduleResult result = scheduler.generate(soc, analyzer);
+
+  for (const std::string& note : result.notes) std::cerr << "note: " << note << '\n';
+  Table table({"session", "cores", "length [s]", "max temp [C]"});
+  for (std::size_t i = 0; i < result.outcomes.size(); ++i) {
+    table.add_row({"TS" + std::to_string(i + 1),
+                   result.outcomes[i].session.to_string(soc),
+                   format_double(result.outcomes[i].length, 2),
+                   format_double(result.outcomes[i].max_temperature, 2)});
+  }
+  if (args.csv) table.print_csv(std::cout);
+  else table.print(std::cout);
+  std::cout << "length=" << result.schedule_length
+            << "s effort=" << result.simulation_effort
+            << "s max=" << format_double(result.max_temperature, 2)
+            << "C (TL " << scheduler.effective_temperature_limit() << "C)\n";
+  return 0;
+}
+
+int cmd_simulate(const CommonArgs& args) {
+  if (args.cores.empty()) {
+    throw InvalidArgument("simulate requires --cores a,b,c");
+  }
+  const core::SocSpec soc = build_soc(args);
+  thermal::ThermalAnalyzer analyzer(soc.flp, soc.package);
+  core::TestSession session;
+  for (const std::string& raw : split(args.cores, ',')) {
+    const std::string name{trim(raw)};
+    const auto index = soc.flp.index_of(name);
+    if (!index) throw InvalidArgument("no core named '" + name + "'");
+    session.cores.push_back(*index);
+  }
+  const thermal::SessionSimulation sim =
+      analyzer.simulate_session(session.power_map(soc), session.length(soc));
+
+  Table table({"core", "power [W]", "peak temp [C]"});
+  for (std::size_t i = 0; i < soc.core_count(); ++i) {
+    table.add_row({soc.flp.block(i).name,
+                   format_double(session.contains(i) ? soc.tests[i].power : 0.0, 1),
+                   format_double(sim.peak_temperature[i], 2)});
+  }
+  if (args.csv) table.print_csv(std::cout);
+  else table.print(std::cout);
+  std::cout << "\nmax " << format_double(sim.max_temperature, 2) << " C in '"
+            << soc.flp.block(sim.hottest_block).name << "'\n\n"
+            << viz::ascii_block_map(soc.flp, sim.peak_temperature, 56);
+  return 0;
+}
+
+int cmd_info(const CommonArgs& args) {
+  const core::SocSpec soc = build_soc(args);
+  std::cout << "SoC '" << soc.name << "': " << soc.core_count()
+            << " cores, die " << soc.flp.chip_width() * 1e3 << " x "
+            << soc.flp.chip_height() * 1e3 << " mm, coverage "
+            << format_double(soc.flp.validate().coverage * 100.0, 1) << "%\n";
+  Table table({"core", "area [mm2]", "test power [W]",
+               "density [W/mm2]", "neighbours", "boundary [mm]"});
+  for (std::size_t i = 0; i < soc.core_count(); ++i) {
+    table.add_row({soc.flp.block(i).name,
+                   format_double(soc.flp.block(i).area() * 1e6, 2),
+                   format_double(soc.tests[i].power, 1),
+                   format_double(soc.power_density(i) * 1e-6, 2),
+                   std::to_string(soc.flp.neighbours(i).size()),
+                   format_double(soc.flp.boundary_exposure(i) * 1e3, 1)});
+  }
+  if (args.csv) table.print_csv(std::cout);
+  else table.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: thermosched <schedule|simulate|info> [options]\n"
+                 "       thermosched <command> --help\n";
+    return 1;
+  }
+  const std::string command = argv[1];
+
+  CommonArgs args;
+  CliParser cli("thermosched " + command, "Thermal-safe SoC test scheduling");
+  cli.add_string("flp", "HotSpot .flp floorplan file", &args.flp_path);
+  cli.add_double("density", "Uniform test power density for --flp [W/m^2]",
+                 &args.density);
+  bool alpha_flag = false;
+  cli.add_flag("alpha", "Use the bundled Alpha-15 SoC", &alpha_flag);
+  cli.add_double("tl", "Temperature limit TL [deg C]", &args.tl);
+  cli.add_double("stcl", "Session thermal characteristic limit", &args.stcl);
+  cli.add_double("stc-scale", "STC normalisation (0 = auto)", &args.stc_scale);
+  cli.add_string("cores", "Comma-separated cores (simulate)", &args.cores);
+  cli.add_flag("csv", "CSV output", &args.csv);
+
+  try {
+    if (!cli.parse(argc - 1, argv + 1)) return 0;
+    args.alpha = alpha_flag;
+    if (command == "schedule") return cmd_schedule(args);
+    if (command == "simulate") return cmd_simulate(args);
+    if (command == "info") return cmd_info(args);
+    std::cerr << "unknown command '" << command << "'\n";
+    return 1;
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -1,0 +1,51 @@
+// Regenerates Figure 5 of the paper: test schedule length and simulation
+// effort as functions of the session thermal characteristic limit STCL,
+// for TL in {145, 155, 165} C, on the 15-core Alpha-like SoC.
+//
+// The paper plots both series against "1/STCL" (tight constraints to the
+// right); we print STCL directly plus the six series. Expected shape:
+// relaxed (large) STCL gives short schedules at high simulation effort;
+// tight STCL gives longer schedules found on the first attempt (effort
+// equals schedule length); larger TL shifts both curves down.
+#include <iostream>
+
+#include "core/thermal_scheduler.hpp"
+#include "soc/alpha.hpp"
+#include "thermal/analyzer.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace thermo;
+
+int main() {
+  std::cout << "=== Figure 5 reproduction: length & effort vs STCL ===\n\n";
+  const core::SocSpec soc = soc::alpha_soc();
+  thermal::ThermalAnalyzer analyzer(soc.flp, soc.package);
+
+  const double tls[] = {145.0, 155.0, 165.0};
+
+  Table table({"STCL", "len(TL=145)", "effort(TL=145)", "len(TL=155)",
+               "effort(TL=155)", "len(TL=165)", "effort(TL=165)"});
+  for (double stcl = 20.0; stcl <= 100.0 + 1e-9; stcl += 10.0) {
+    std::vector<std::string> row{format_double(stcl, 0)};
+    for (double tl : tls) {
+      core::ThermalSchedulerOptions options;
+      options.temperature_limit = tl;
+      options.stc_limit = stcl;
+      options.model.stc_scale = soc::alpha_stc_scale();
+      const core::ThermalAwareScheduler scheduler(options);
+      const core::ScheduleResult result = scheduler.generate(soc, analyzer);
+      row.push_back(format_double(result.schedule_length, 0));
+      row.push_back(format_double(result.simulation_effort, 0));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+
+  std::cout << "\ncsv:\n";
+  table.print_csv(std::cout);
+
+  std::cout << "\npaper reference points (their floorplan): TL=145, STCL=100"
+               " -> 3 s schedule, 26 s effort; STCL<=30 -> effort == length.\n";
+  return 0;
+}

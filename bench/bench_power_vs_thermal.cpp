@@ -1,0 +1,75 @@
+// Ablation C: power-constrained baseline vs thermal-aware scheduling on
+// the Alpha-like SoC (the system-level comparison behind the paper's
+// Section 1 argument).
+//
+// For a sweep of chip-level power budgets, the baseline packs sessions
+// greedily under the budget and we then *check* the result thermally at
+// TL = 155 C. For the thermal-aware scheduler we sweep STCL at the same
+// TL. Expected shape: to become thermally safe, the power baseline must
+// shrink its budget until concurrency (and schedule length) is far worse
+// than what the thermal-aware scheduler achieves, because the budget has
+// to be provisioned for the *densest* cores.
+#include <iostream>
+
+#include "core/power_scheduler.hpp"
+#include "core/safety_checker.hpp"
+#include "core/thermal_scheduler.hpp"
+#include "soc/alpha.hpp"
+#include "thermal/analyzer.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace thermo;
+
+int main() {
+  constexpr double kTl = 155.0;
+  std::cout << "=== Power-constrained vs thermal-aware (TL = " << kTl
+            << " C) ===\n\n";
+  const core::SocSpec soc = soc::alpha_soc();
+  thermal::ThermalAnalyzer analyzer(soc.flp, soc.package);
+  const core::SafetyChecker checker(kTl);
+
+  double total_power = 0.0;
+  for (const auto& test : soc.tests) total_power += test.power;
+  std::cout << "total SoC test power: " << format_double(total_power, 0)
+            << " W\n\n";
+
+  Table power_table({"power budget [W]", "sessions", "length [s]",
+                     "max temp [C]", "violations", "thermally safe"});
+  for (double budget : {60.0, 80.0, 100.0, 120.0, 160.0, 200.0, 280.0}) {
+    core::PowerSchedulerOptions options;
+    options.power_limit = budget;
+    const core::PowerConstrainedScheduler scheduler(options);
+    const core::ScheduleResult result = scheduler.generate(soc, &analyzer);
+    const core::SafetyReport report =
+        checker.check(soc, result.schedule, analyzer);
+    power_table.add_row({format_double(budget, 0),
+                         std::to_string(result.schedule.session_count()),
+                         format_double(result.schedule_length, 0),
+                         format_double(report.max_temperature, 1),
+                         std::to_string(report.violations.size()),
+                         report.safe ? "yes" : "NO"});
+  }
+  std::cout << "power-constrained baseline (checked at TL = " << kTl
+            << " C):\n";
+  power_table.print(std::cout);
+
+  Table thermal_table(
+      {"STCL", "sessions", "length [s]", "max temp [C]", "effort [s]"});
+  for (double stcl : {20.0, 40.0, 60.0, 80.0, 100.0}) {
+    core::ThermalSchedulerOptions options;
+    options.temperature_limit = kTl;
+    options.stc_limit = stcl;
+    options.model.stc_scale = soc::alpha_stc_scale();
+    const core::ThermalAwareScheduler scheduler(options);
+    const core::ScheduleResult result = scheduler.generate(soc, analyzer);
+    thermal_table.add_row({format_double(stcl, 0),
+                           std::to_string(result.schedule.session_count()),
+                           format_double(result.schedule_length, 0),
+                           format_double(result.max_temperature, 1),
+                           format_double(result.simulation_effort, 0)});
+  }
+  std::cout << "\nthermal-aware scheduler (always safe by construction):\n";
+  thermal_table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Performance benchmarks (google-benchmark): the substrate costs behind
+// the paper's "rapid generation" claim.
+//
+//  * steady-state solvers (Cholesky / LU / CG) across floorplan sizes;
+//  * transient backward-Euler session simulation across floorplan sizes;
+//  * STC evaluation (the paper's guide metric) vs a full session
+//    simulation on the Alpha-like SoC: the gap is the simulation time
+//    Algorithm 1 saves per considered candidate;
+//  * end-to-end Algorithm 1 on the Alpha SoC.
+#include <benchmark/benchmark.h>
+
+#include "core/session_model.hpp"
+#include "core/thermal_scheduler.hpp"
+#include "floorplan/generator.hpp"
+#include "soc/alpha.hpp"
+#include "thermal/analyzer.hpp"
+#include "thermal/steady_state.hpp"
+#include "thermal/transient.hpp"
+
+using namespace thermo;
+
+namespace {
+
+thermal::RCModel make_grid_model(std::size_t side) {
+  const floorplan::Floorplan fp =
+      floorplan::make_grid_floorplan(side, side, 0.016, 0.016);
+  return thermal::RCModel(fp, thermal::PackageParams{});
+}
+
+std::vector<double> grid_power(std::size_t blocks) {
+  std::vector<double> power(blocks, 0.0);
+  for (std::size_t i = 0; i < blocks; i += 3) power[i] = 5.0;
+  return power;
+}
+
+void BM_SteadyCholesky(benchmark::State& state) {
+  const auto side = static_cast<std::size_t>(state.range(0));
+  const thermal::RCModel model = make_grid_model(side);
+  const auto power = grid_power(model.block_count());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        thermal::solve_steady_state(model, power,
+                                    thermal::SteadySolver::kCholesky));
+  }
+  state.SetLabel(std::to_string(model.block_count()) + " blocks");
+}
+BENCHMARK(BM_SteadyCholesky)->Arg(2)->Arg(4)->Arg(8)->Arg(12)->Arg(16);
+
+void BM_SteadyLu(benchmark::State& state) {
+  const auto side = static_cast<std::size_t>(state.range(0));
+  const thermal::RCModel model = make_grid_model(side);
+  const auto power = grid_power(model.block_count());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        thermal::solve_steady_state(model, power, thermal::SteadySolver::kLu));
+  }
+  state.SetLabel(std::to_string(model.block_count()) + " blocks");
+}
+BENCHMARK(BM_SteadyLu)->Arg(2)->Arg(4)->Arg(8)->Arg(12)->Arg(16);
+
+void BM_SteadyCg(benchmark::State& state) {
+  const auto side = static_cast<std::size_t>(state.range(0));
+  const thermal::RCModel model = make_grid_model(side);
+  const auto power = grid_power(model.block_count());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(thermal::solve_steady_state(
+        model, power, thermal::SteadySolver::kConjugateGradient));
+  }
+  state.SetLabel(std::to_string(model.block_count()) + " blocks");
+}
+BENCHMARK(BM_SteadyCg)->Arg(2)->Arg(4)->Arg(8)->Arg(12)->Arg(16)->Arg(20);
+
+void BM_TransientSession(benchmark::State& state) {
+  const auto side = static_cast<std::size_t>(state.range(0));
+  const thermal::RCModel model = make_grid_model(side);
+  const auto power = grid_power(model.block_count());
+  const auto initial = thermal::ambient_state(model);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        thermal::simulate_transient(model, power, 1.0, initial));
+  }
+  state.SetLabel(std::to_string(model.block_count()) + " blocks, 1 s");
+}
+BENCHMARK(BM_TransientSession)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_StcEvaluation(benchmark::State& state) {
+  const core::SocSpec soc = soc::alpha_soc();
+  core::SessionModelOptions options;
+  options.stc_scale = soc::alpha_stc_scale();
+  const core::SessionThermalModel model(soc.flp, soc.package, options);
+  const std::vector<double> power = soc.test_powers();
+  const std::vector<double> weight(soc.core_count(), 1.0);
+  std::vector<bool> active(soc.core_count(), false);
+  for (std::size_t i = 0; i < soc.core_count(); i += 2) active[i] = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        model.session_characteristic(active, power, weight));
+  }
+  state.SetLabel("alpha-15, 8 active");
+}
+BENCHMARK(BM_StcEvaluation);
+
+void BM_FullSessionSimulation(benchmark::State& state) {
+  const core::SocSpec soc = soc::alpha_soc();
+  thermal::ThermalAnalyzer analyzer(soc.flp, soc.package);
+  const std::vector<double> power = soc.test_powers();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyzer.simulate_session(power, 1.0));
+  }
+  state.SetLabel("alpha-15, 1 s session");
+}
+BENCHMARK(BM_FullSessionSimulation);
+
+void BM_Algorithm1EndToEnd(benchmark::State& state) {
+  const core::SocSpec soc = soc::alpha_soc();
+  thermal::ThermalAnalyzer analyzer(soc.flp, soc.package);
+  core::ThermalSchedulerOptions options;
+  options.temperature_limit = 155.0;
+  options.stc_limit = static_cast<double>(state.range(0));
+  options.model.stc_scale = soc::alpha_stc_scale();
+  const core::ThermalAwareScheduler scheduler(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduler.generate(soc, analyzer));
+  }
+  state.SetLabel("TL=155, STCL=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_Algorithm1EndToEnd)->Arg(20)->Arg(60)->Arg(100);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,55 @@
+// Regenerates Table 1 of the paper: test schedule length, simulation
+// effort and maximum simulated temperature vs the temperature limit TL
+// (145..185 C, step 5) and the session thermal characteristic limit
+// STCL (20..100, step 10), on the 15-core Alpha-like SoC.
+//
+// Expected shape (paper, Section 4):
+//  * schedule length is non-increasing in TL and (mostly) in STCL;
+//  * relaxed STCL buys shorter schedules at the price of simulation
+//    effort (many discarded sessions);
+//  * for tight STCL the effort equals the schedule length (first-attempt
+//    success) at high TL;
+//  * max temperature approaches TL for short schedules, and stays far
+//    below TL when STCL (not TL) is the binding constraint.
+// Absolute values differ from the paper (different floorplan/package,
+// see DESIGN.md section 3).
+#include <iostream>
+
+#include "core/thermal_scheduler.hpp"
+#include "soc/alpha.hpp"
+#include "thermal/analyzer.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace thermo;
+
+int main() {
+  std::cout << "=== Table 1 reproduction: length / effort / max temp vs TL "
+               "and STCL ===\n\n";
+  const core::SocSpec soc = soc::alpha_soc();
+  thermal::ThermalAnalyzer analyzer(soc.flp, soc.package);
+
+  Table table({"TL [C]", "STCL", "length [s]", "effort [s]", "max temp [C]",
+               "discards"});
+  for (double tl = 145.0; tl <= 185.0 + 1e-9; tl += 5.0) {
+    for (double stcl = 20.0; stcl <= 100.0 + 1e-9; stcl += 10.0) {
+      core::ThermalSchedulerOptions options;
+      options.temperature_limit = tl;
+      options.stc_limit = stcl;
+      options.model.stc_scale = soc::alpha_stc_scale();
+      const core::ThermalAwareScheduler scheduler(options);
+      const core::ScheduleResult result = scheduler.generate(soc, analyzer);
+
+      table.add_row({format_double(tl, 0), format_double(stcl, 0),
+                     format_double(result.schedule_length, 0),
+                     format_double(result.simulation_effort, 0),
+                     format_double(result.max_temperature, 2),
+                     std::to_string(result.discarded_sessions)});
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\ncsv:\n";
+  table.print_csv(std::cout);
+  return 0;
+}

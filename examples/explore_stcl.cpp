@@ -1,0 +1,67 @@
+// Explore the STCL trade-off the paper exposes as a user knob
+// (Section 5: "exploration of more efficient solutions at the expense of
+// longer thermal simulation times through a user selectable parameter").
+//
+// For a fixed TL, sweeps STCL and prints schedule length, simulation
+// effort and max temperature, so a test engineer can pick the knee.
+//
+//   ./explore_stcl [--tl 155] [--stcl-min 20] [--stcl-max 100] [--step 10] [--csv]
+#include <iostream>
+
+#include "core/thermal_scheduler.hpp"
+#include "soc/alpha.hpp"
+#include "thermal/analyzer.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace thermo;
+
+  double tl = 155.0;
+  double stcl_min = 20.0, stcl_max = 100.0, step = 10.0;
+  bool csv = false;
+  CliParser cli("explore_stcl", "Sweep STCL and report the trade-off");
+  cli.add_double("tl", "Temperature limit TL [deg C]", &tl);
+  cli.add_double("stcl-min", "Smallest STCL", &stcl_min);
+  cli.add_double("stcl-max", "Largest STCL", &stcl_max);
+  cli.add_double("step", "STCL increment", &step);
+  cli.add_flag("csv", "Emit CSV instead of an aligned table", &csv);
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+    if (step <= 0.0 || stcl_max < stcl_min) {
+      throw InvalidArgument("need step > 0 and stcl-max >= stcl-min");
+    }
+  } catch (const Error& e) {
+    std::cerr << e.what() << '\n' << cli.usage();
+    return 1;
+  }
+
+  const core::SocSpec soc = soc::alpha_soc();
+  thermal::ThermalAnalyzer analyzer(soc.flp, soc.package);
+
+  Table table({"STCL", "length [s]", "effort [s]", "sessions", "max temp [C]",
+               "discards"});
+  for (double stcl = stcl_min; stcl <= stcl_max + 1e-9; stcl += step) {
+    core::ThermalSchedulerOptions options;
+    options.temperature_limit = tl;
+    options.stc_limit = stcl;
+    options.model.stc_scale = soc::alpha_stc_scale();
+    const core::ThermalAwareScheduler scheduler(options);
+    const core::ScheduleResult result = scheduler.generate(soc, analyzer);
+    table.add_row({format_double(stcl, 0),
+                   format_double(result.schedule_length, 1),
+                   format_double(result.simulation_effort, 1),
+                   std::to_string(result.schedule.session_count()),
+                   format_double(result.max_temperature, 2),
+                   std::to_string(result.discarded_sessions)});
+  }
+  std::cout << "TL = " << tl << " C\n";
+  if (csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  return 0;
+}

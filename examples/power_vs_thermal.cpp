@@ -1,0 +1,119 @@
+// Power-constrained vs thermal-aware scheduling, on the paper's own
+// motivational example (Figure 1) and on the Alpha-like SoC.
+//
+// Demonstrates the paper's core claim: a chip-level power budget does
+// not prevent local overheating, because power density - not power -
+// creates hot spots; the thermal-aware scheduler avoids them with
+// comparable concurrency.
+//
+//   ./power_vs_thermal [--power-limit 45] [--tl 155]
+#include <iostream>
+
+#include "core/power_scheduler.hpp"
+#include "core/safety_checker.hpp"
+#include "core/thermal_scheduler.hpp"
+#include "soc/alpha.hpp"
+#include "soc/fig1.hpp"
+#include "thermal/analyzer.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace thermo;
+
+namespace {
+
+void fig1_demo() {
+  std::cout << "=== Figure 1: same power, very different temperature ===\n";
+  const core::SocSpec soc = soc::fig1_soc();
+  thermal::ThermalAnalyzer analyzer(soc.flp, soc.package);
+
+  const core::TestSession ts1 = soc::fig1_session_ts1(soc);
+  const core::TestSession ts2 = soc::fig1_session_ts2(soc);
+
+  Table table({"session", "cores", "total power [W]", "power density ratio",
+               "max temp [C]"});
+  const struct {
+    const core::TestSession* session;
+    const char* name;
+  } rows[] = {{&ts1, "TS1"}, {&ts2, "TS2"}};
+  for (const auto& row : rows) {
+    double power = 0.0;
+    for (std::size_t c : row.session->cores) power += soc.tests[c].power;
+    const thermal::SessionSimulation sim = analyzer.simulate_session(
+        row.session->power_map(soc), row.session->length(soc));
+    const double density_ratio =
+        soc.power_density(row.session->cores.front()) / soc.power_density(0);
+    table.add_row({row.name, row.session->to_string(soc),
+                   format_double(power, 0), format_double(density_ratio, 1),
+                   format_double(sim.max_temperature, 1)});
+  }
+  table.print(std::cout);
+  std::cout << "Both sessions respect the " << soc::kFig1PowerLimit
+            << " W budget; only one of them is thermally safe.\n\n";
+}
+
+void alpha_comparison(double power_limit, double tl) {
+  std::cout << "=== Alpha-15 SoC: schedulers head to head (TL = " << tl
+            << " C) ===\n";
+  const core::SocSpec soc = soc::alpha_soc();
+  thermal::ThermalAnalyzer analyzer(soc.flp, soc.package);
+  const core::SafetyChecker checker(tl);
+
+  // Power-constrained baseline.
+  core::PowerSchedulerOptions popt;
+  popt.power_limit = power_limit;
+  const core::PowerConstrainedScheduler power_sched(popt);
+  const core::ScheduleResult pres = power_sched.generate(soc, &analyzer);
+  const core::SafetyReport preport =
+      checker.check(soc, pres.schedule, analyzer);
+
+  // Thermal-aware scheduler.
+  core::ThermalSchedulerOptions topt;
+  topt.temperature_limit = tl;
+  topt.stc_limit = 50.0;
+  topt.model.stc_scale = soc::alpha_stc_scale();
+  const core::ThermalAwareScheduler thermal_sched(topt);
+  const core::ScheduleResult tres = thermal_sched.generate(soc, analyzer);
+  const core::SafetyReport treport =
+      checker.check(soc, tres.schedule, analyzer);
+
+  Table table({"scheduler", "sessions", "length [s]", "max temp [C]",
+               "thermal violations"});
+  table.add_row({"power-constrained (" + format_double(power_limit, 0) + " W)",
+                 std::to_string(pres.schedule.session_count()),
+                 format_double(pres.schedule_length, 1),
+                 format_double(preport.max_temperature, 1),
+                 std::to_string(preport.violations.size())});
+  table.add_row({"thermal-aware (Algorithm 1)",
+                 std::to_string(tres.schedule.session_count()),
+                 format_double(tres.schedule_length, 1),
+                 format_double(treport.max_temperature, 1),
+                 std::to_string(treport.violations.size())});
+  table.print(std::cout);
+  if (!preport.safe) {
+    std::cout << "\npower-constrained violations:\n"
+              << preport.to_string(soc) << '\n';
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double power_limit = 120.0;
+  double tl = 155.0;
+  CliParser cli("power_vs_thermal",
+                "Compare power-constrained and thermal-aware scheduling");
+  cli.add_double("power-limit", "Chip-level power budget [W]", &power_limit);
+  cli.add_double("tl", "Temperature limit for the safety check [C]", &tl);
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+  } catch (const Error& e) {
+    std::cerr << e.what() << '\n' << cli.usage();
+    return 1;
+  }
+  fig1_demo();
+  alpha_comparison(power_limit, tl);
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Quickstart: generate a thermal-safe test schedule for the bundled
+// 15-core Alpha-like SoC and print it, together with the paper's two
+// quality metrics (schedule length and simulation effort).
+//
+//   ./quickstart [--tl 155] [--stcl 50]
+#include <iostream>
+
+#include "core/thermal_scheduler.hpp"
+#include "soc/alpha.hpp"
+#include "thermal/analyzer.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace thermo;
+
+  double tl = 155.0;
+  double stcl = 50.0;
+  CliParser cli("quickstart",
+                "Generate a thermal-safe test schedule (DATE'05 Algorithm 1)");
+  cli.add_double("tl", "Maximum allowable core temperature TL [deg C]", &tl);
+  cli.add_double("stcl", "Session thermal characteristic limit STCL", &stcl);
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+  } catch (const Error& e) {
+    std::cerr << e.what() << '\n' << cli.usage();
+    return 1;
+  }
+
+  // 1. The system under test: floorplan + package + per-core test set.
+  const core::SocSpec soc = soc::alpha_soc();
+  std::cout << "SoC: " << soc.name << " (" << soc.core_count()
+            << " cores, die " << soc.flp.chip_width() * 1e3 << " x "
+            << soc.flp.chip_height() * 1e3 << " mm)\n\n";
+
+  // 2. The thermal oracle: RC-network simulator at block granularity.
+  thermal::ThermalAnalyzer analyzer(soc.flp, soc.package);
+
+  // 3. Algorithm 1, guided by the test session thermal model.
+  core::ThermalSchedulerOptions options;
+  options.temperature_limit = tl;
+  options.stc_limit = stcl;
+  options.model.stc_scale = soc::alpha_stc_scale();
+  const core::ThermalAwareScheduler scheduler(options);
+  const core::ScheduleResult result = scheduler.generate(soc, analyzer);
+
+  // 4. Report.
+  Table table({"session", "cores", "length [s]", "max temp [C]"});
+  for (std::size_t i = 0; i < result.outcomes.size(); ++i) {
+    const core::SessionOutcome& outcome = result.outcomes[i];
+    table.add_row({"TS" + std::to_string(i + 1),
+                   outcome.session.to_string(soc),
+                   format_double(outcome.length, 1),
+                   format_double(outcome.max_temperature, 2)});
+  }
+  table.print(std::cout);
+  std::cout << "\nschedule length    : " << result.schedule_length << " s\n"
+            << "simulation effort  : " << result.simulation_effort << " s\n"
+            << "max temperature    : " << result.max_temperature << " C (TL "
+            << tl << " C)\n"
+            << "discarded sessions : " << result.discarded_sessions << "\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Renders the thermal landscape of a test session: ASCII heat maps on
+// stdout and an SVG floorplan written next to the binary. Uses the grid
+// model for the cell-level map and the block model for per-core values.
+//
+//   ./thermal_map [--session Icache,Dcache,IntReg] [--svg out.svg]
+#include <fstream>
+#include <iostream>
+
+#include "core/schedule.hpp"
+#include "soc/alpha.hpp"
+#include "thermal/analyzer.hpp"
+#include "thermal/grid_model.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+#include "viz/heatmap.hpp"
+
+using namespace thermo;
+
+int main(int argc, char** argv) {
+  std::string session_spec = "Icache,Dcache,IntReg";
+  std::string svg_path = "thermal_map.svg";
+  CliParser cli("thermal_map", "Visualise a test session's thermal field");
+  cli.add_string("session", "Comma-separated core names to activate",
+                 &session_spec);
+  cli.add_string("svg", "Output SVG path (empty to skip)", &svg_path);
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+
+    const core::SocSpec soc = soc::alpha_soc();
+    core::TestSession session;
+    for (const std::string& raw : split(session_spec, ',')) {
+      const std::string name{trim(raw)};
+      const auto index = soc.flp.index_of(name);
+      if (!index) throw InvalidArgument("no core named '" + name + "'");
+      session.cores.push_back(*index);
+    }
+
+    // Block-level peaks during a 1 s session.
+    thermal::ThermalAnalyzer analyzer(soc.flp, soc.package);
+    const thermal::SessionSimulation sim =
+        analyzer.simulate_session(session.power_map(soc), 1.0);
+    std::cout << "session " << session.to_string(soc) << ": max "
+              << format_double(sim.max_temperature, 1) << " C in '"
+              << soc.flp.block(sim.hottest_block).name << "'\n\n";
+
+    std::cout << "per-core peak temperatures (block model):\n"
+              << viz::ascii_block_map(soc.flp, sim.peak_temperature, 64)
+              << '\n';
+
+    // Cell-level steady state (upper bound) from the grid model.
+    const thermal::GridThermalModel grid(soc.flp, soc.package,
+                                         thermal::GridOptions{48, 48});
+    const thermal::GridSteadyResult steady =
+        grid.solve(session.power_map(soc));
+    std::cout << "steady-state cell temperatures (48x48 grid model):\n"
+              << viz::ascii_heatmap(steady.cell_temperature, 48, 48) << '\n';
+
+    if (!svg_path.empty()) {
+      std::ofstream out(svg_path);
+      if (!out) throw InvalidArgument("cannot write '" + svg_path + "'");
+      out << viz::svg_floorplan(soc.flp, sim.peak_temperature);
+      std::cout << "wrote " << svg_path << '\n';
+    }
+    return 0;
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

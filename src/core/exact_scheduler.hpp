@@ -1,0 +1,43 @@
+// Exact minimum-session scheduler for small SoCs (exhaustive dynamic
+// programming over core subsets).
+//
+// Finds a schedule with the *provably minimal number of sessions* such
+// that every session, simulated with the full RC oracle, stays below the
+// temperature limit. Complexity is O(3^n) subset-DP plus one simulation
+// per subset (memoised), so it is practical for n <= ~12 cores - enough
+// to measure how far Algorithm 1's greedy heuristic is from optimal
+// (bench_ablation_exact) and to cross-check the heuristic in tests.
+#pragma once
+
+#include <cstddef>
+
+#include "core/scheduler_result.hpp"
+#include "core/soc_spec.hpp"
+#include "thermal/analyzer.hpp"
+
+namespace thermo::core {
+
+struct ExactSchedulerOptions {
+  double temperature_limit = 145.0;  ///< TL [deg C]
+  std::size_t max_cores = 14;        ///< refuse larger instances (2^n blow-up)
+};
+
+class ExactScheduler {
+ public:
+  explicit ExactScheduler(ExactSchedulerOptions options = {});
+
+  const ExactSchedulerOptions& options() const { return options_; }
+
+  /// Returns a minimum-session thermally-safe schedule. Throws
+  /// InvalidArgument when the SoC has more than max_cores cores or when
+  /// some core violates TL even alone (no safe schedule exists).
+  /// simulation_effort accounts for every oracle call (one per distinct
+  /// subset evaluated).
+  ScheduleResult generate(const SocSpec& soc,
+                          thermal::ThermalAnalyzer& analyzer) const;
+
+ private:
+  ExactSchedulerOptions options_;
+};
+
+}  // namespace thermo::core

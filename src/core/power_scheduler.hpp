@@ -1,0 +1,39 @@
+// Baseline: classic power-constrained test scheduling (Chou et al. style
+// greedy session packing under a chip-level maximum power budget). This
+// is the approach the paper argues against: it bounds total power but is
+// blind to power *density*, so it can admit sessions with severe local
+// hot spots (paper, Figure 1).
+#pragma once
+
+#include "core/scheduler_result.hpp"
+#include "core/soc_spec.hpp"
+#include "thermal/analyzer.hpp"
+
+namespace thermo::core {
+
+struct PowerSchedulerOptions {
+  double power_limit = 45.0;  ///< chip-level power budget per session [W]
+  /// Scan order: descending power (first-fit-decreasing) when true,
+  /// input order otherwise.
+  bool sort_by_power = true;
+};
+
+class PowerConstrainedScheduler {
+ public:
+  explicit PowerConstrainedScheduler(PowerSchedulerOptions options = {});
+
+  const PowerSchedulerOptions& options() const { return options_; }
+
+  /// Packs sessions greedily under the power budget. A core whose test
+  /// power alone exceeds the budget gets a dedicated session (with a
+  /// note). When an analyzer is supplied, each committed session is
+  /// simulated for reporting (outcomes, max_temperature); the power
+  /// baseline never *discards* a session on thermal grounds.
+  ScheduleResult generate(const SocSpec& soc,
+                          thermal::ThermalAnalyzer* analyzer = nullptr) const;
+
+ private:
+  PowerSchedulerOptions options_;
+};
+
+}  // namespace thermo::core

@@ -1,0 +1,57 @@
+// Common result type returned by all schedulers.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/schedule.hpp"
+
+namespace thermo::core {
+
+/// Outcome of one committed session as observed by the oracle simulator.
+struct SessionOutcome {
+  TestSession session;
+  double length = 0.0;           ///< [s]
+  double max_temperature = 0.0;  ///< hottest core peak during session [deg C]
+  std::size_t hottest_core = 0;
+};
+
+struct ScheduleResult {
+  TestSchedule schedule;
+
+  /// Per-committed-session simulation outcomes (same order as schedule).
+  std::vector<SessionOutcome> outcomes;
+
+  /// Total test application time [s].
+  double schedule_length = 0.0;
+
+  /// The paper's "simulation effort": cumulative simulated test-session
+  /// time until the thermal-safe schedule was found, *including*
+  /// discarded attempts [s]. The sequential pre-pass is reported
+  /// separately (precheck_effort), matching the paper's accounting.
+  double simulation_effort = 0.0;
+
+  /// Simulated time spent in the per-core pre-pass [s].
+  double precheck_effort = 0.0;
+
+  /// Hottest core temperature across all committed sessions [deg C].
+  double max_temperature = 0.0;
+
+  /// Number of sessions that were simulated and discarded for violating
+  /// the temperature limit.
+  std::size_t discarded_sessions = 0;
+
+  /// Total simulate() calls (committed + discarded).
+  std::size_t simulation_count = 0;
+
+  /// Best-case module temperatures: per-core solo peak temperature from
+  /// the pre-pass [deg C] (empty for schedulers that skip the pre-pass).
+  std::vector<double> bcmt;
+
+  /// Human-readable notes (e.g. solo-violating cores and how they were
+  /// handled).
+  std::vector<std::string> notes;
+};
+
+}  // namespace thermo::core

@@ -1,0 +1,21 @@
+// Trivial baseline: one core per session (zero concurrency). Its
+// schedule length is the upper bound every other scheduler improves on,
+// and its per-session temperatures are the BCMT values of the paper's
+// pre-pass.
+#pragma once
+
+#include "core/scheduler_result.hpp"
+#include "core/soc_spec.hpp"
+#include "thermal/analyzer.hpp"
+
+namespace thermo::core {
+
+class SequentialScheduler {
+ public:
+  /// One session per core, in block order. When an analyzer is given,
+  /// sessions are simulated for the report.
+  ScheduleResult generate(const SocSpec& soc,
+                          thermal::ThermalAnalyzer* analyzer = nullptr) const;
+};
+
+}  // namespace thermo::core

@@ -1,0 +1,84 @@
+// Algorithm 1 of the paper: thermal-safe test schedule generation guided
+// by the test session thermal model.
+//
+// Flow:
+//   1. *Pre-pass* (paper lines 1-7): simulate every core alone, record
+//      BCMT(i). Cores violating TL are handled per SoloViolationPolicy
+//      (the paper offers "fix the core's test infrastructure or raise
+//      TL"; we additionally support excluding the core).
+//   2. *Session construction* (lines 9-15): scan the unscheduled cores
+//      in a deterministic order and greedily add each core whose
+//      addition keeps STC(TS) <= STCL.
+//   3. *Validation* (lines 16-23): simulate the session with the full RC
+//      model. Every core whose peak temperature reaches TL gets its
+//      weight multiplied by weight_factor (1.1 in the paper), making it
+//      less likely to join a busy session; the session is discarded and
+//      construction restarts. Simulation effort accumulates either way.
+//   4. Repeat until every core is scheduled (lines 24-28).
+//
+// Robustness beyond the pseudocode:
+//   * if no core fits an empty session under STCL, the first candidate
+//     is force-added alone (a single-core session passed the pre-pass,
+//     so it must be thermally safe) — otherwise tight STCL values would
+//     loop forever;
+//   * an attempt cap turns pathological non-termination into an error.
+#pragma once
+
+#include "core/scheduler_result.hpp"
+#include "core/session_model.hpp"
+#include "core/soc_spec.hpp"
+#include "thermal/analyzer.hpp"
+
+namespace thermo::core {
+
+/// What to do with a core whose *solo* test already violates TL.
+enum class SoloViolationPolicy {
+  kThrow,       ///< refuse to schedule (default; mirrors "fix the core")
+  kRaiseLimit,  ///< raise TL to the hottest solo temperature + margin
+  kExclude      ///< drop the core from the schedule and note it
+};
+
+/// Order in which candidate cores are scanned during session
+/// construction (the paper's FOR EACH over A, line 10, leaves this
+/// open; the choice is deterministic here).
+enum class CoreOrder {
+  kInputOrder,        ///< floorplan/block order
+  kDescendingPower,   ///< hottest testers first
+  kDescendingSoloTc,  ///< descending solo thermal characteristic (default)
+  kAscendingSoloTc    ///< coolest configuration first
+};
+
+struct ThermalSchedulerOptions {
+  double temperature_limit = 145.0;  ///< TL [deg C]
+  double stc_limit = 50.0;           ///< STCL (units of the session model)
+  double weight_factor = 1.1;        ///< W multiplier on violation (paper: 1.1)
+  SoloViolationPolicy solo_policy = SoloViolationPolicy::kThrow;
+  double raise_limit_margin = 1.0;   ///< [K], for kRaiseLimit
+  CoreOrder core_order = CoreOrder::kDescendingSoloTc;
+  std::size_t max_attempts = 100000;  ///< simulate() call cap
+  SessionModelOptions model;
+};
+
+class ThermalAwareScheduler {
+ public:
+  explicit ThermalAwareScheduler(ThermalSchedulerOptions options = {});
+
+  const ThermalSchedulerOptions& options() const { return options_; }
+
+  /// Generates a thermal-safe schedule. The analyzer provides the
+  /// simulate() oracle; its effort counter is reset at the start of the
+  /// run. Throws InvalidArgument on inconsistent inputs, LogicError when
+  /// the attempt cap is exhausted.
+  ScheduleResult generate(const SocSpec& soc,
+                          thermal::ThermalAnalyzer& analyzer) const;
+
+  /// Effective TL used in the last generate() call (differs from
+  /// options().temperature_limit only under kRaiseLimit).
+  double effective_temperature_limit() const { return effective_tl_; }
+
+ private:
+  ThermalSchedulerOptions options_;
+  mutable double effective_tl_ = 0.0;
+};
+
+}  // namespace thermo::core

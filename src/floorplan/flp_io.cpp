@@ -1,0 +1,84 @@
+#include "floorplan/flp_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace thermo::floorplan {
+
+Floorplan parse_flp(std::istream& in, std::string name) {
+  Floorplan fp(std::move(name));
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    // Strip comment.
+    if (auto hash = line.find('#'); hash != std::string::npos) {
+      line.erase(hash);
+    }
+    const auto fields = split_whitespace(line);
+    if (fields.empty()) continue;
+    if (fields.size() != 5) {
+      std::ostringstream os;
+      os << "flp line " << line_number << ": expected 5 fields "
+         << "(name width height left bottom), got " << fields.size();
+      throw ParseError(os.str());
+    }
+    Block block;
+    block.name = fields[0];
+    const char* field_names[] = {"width", "height", "left-x", "bottom-y"};
+    double* slots[] = {&block.width, &block.height, &block.x, &block.y};
+    for (int i = 0; i < 4; ++i) {
+      auto value = parse_double(fields[static_cast<std::size_t>(i) + 1]);
+      if (!value) {
+        std::ostringstream os;
+        os << "flp line " << line_number << ": field '" << field_names[i]
+           << "' is not a number: '" << fields[static_cast<std::size_t>(i) + 1]
+           << "'";
+        throw ParseError(os.str());
+      }
+      *slots[i] = *value;
+    }
+    fp.add_block(std::move(block));
+  }
+  return fp;
+}
+
+Floorplan parse_flp_string(const std::string& text, std::string name) {
+  std::istringstream in(text);
+  return parse_flp(in, std::move(name));
+}
+
+Floorplan load_flp(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw ParseError("cannot open floorplan file '" + path + "'");
+  // Derive a name from the file stem.
+  std::string name = path;
+  if (auto slash = name.find_last_of('/'); slash != std::string::npos) {
+    name.erase(0, slash + 1);
+  }
+  if (auto dot = name.find_last_of('.'); dot != std::string::npos) {
+    name.erase(dot);
+  }
+  return parse_flp(in, std::move(name));
+}
+
+void write_flp(const Floorplan& fp, std::ostream& out) {
+  out << "# floorplan: " << fp.name() << "\n";
+  out << "# <unit-name> <width> <height> <left-x> <bottom-y>  (metres)\n";
+  out.precision(9);
+  for (const Block& b : fp.blocks()) {
+    out << b.name << '\t' << b.width << '\t' << b.height << '\t' << b.x << '\t'
+        << b.y << '\n';
+  }
+}
+
+std::string to_flp_string(const Floorplan& fp) {
+  std::ostringstream os;
+  write_flp(fp, os);
+  return os.str();
+}
+
+}  // namespace thermo::floorplan

@@ -1,0 +1,31 @@
+// HotSpot .flp format reader/writer.
+//
+// Format (one block per line):
+//   <unit-name> <width> <height> <left-x> <bottom-y>
+// '#' starts a comment; blank lines are ignored. Units are metres.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "floorplan/floorplan.hpp"
+
+namespace thermo::floorplan {
+
+/// Parses .flp text. Throws ParseError with a line number on malformed
+/// input; throws InvalidArgument for duplicate names / bad dimensions.
+Floorplan parse_flp(std::istream& in, std::string name = "flp");
+
+/// Parses .flp from a string.
+Floorplan parse_flp_string(const std::string& text, std::string name = "flp");
+
+/// Loads a .flp file. Throws ParseError when the file cannot be opened.
+Floorplan load_flp(const std::string& path);
+
+/// Writes in HotSpot .flp format (round-trips through parse_flp).
+void write_flp(const Floorplan& fp, std::ostream& out);
+
+/// Serializes to a .flp string.
+std::string to_flp_string(const Floorplan& fp);
+
+}  // namespace thermo::floorplan

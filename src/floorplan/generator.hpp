@@ -1,0 +1,32 @@
+// Synthetic floorplan generators, used by property tests (random valid
+// floorplans) and the solver-scaling benchmark (grids of arbitrary size).
+#pragma once
+
+#include <cstddef>
+
+#include "floorplan/floorplan.hpp"
+#include "util/rng.hpp"
+
+namespace thermo::floorplan {
+
+/// Uniform rows x cols grid covering chip_width x chip_height metres.
+/// Block names are "b<r>_<c>".
+Floorplan make_grid_floorplan(std::size_t rows, std::size_t cols,
+                              double chip_width, double chip_height);
+
+struct SlicingOptions {
+  std::size_t block_count = 12;   ///< number of leaf blocks (>= 1)
+  double chip_width = 0.016;     ///< metres
+  double chip_height = 0.016;    ///< metres
+  double min_cut_fraction = 0.3; ///< cuts fall in [min, 1-min] of the span
+  double min_block_dim = 1e-4;   ///< metres; regions thinner than 2x this
+                                 ///< are not cut in that direction
+};
+
+/// Random slicing-tree floorplan: recursively slices the die with
+/// alternating-preference horizontal/vertical cuts. Always produces a
+/// valid (non-overlapping, fully covering) floorplan with exactly
+/// `block_count` blocks. Deterministic for a given RNG state.
+Floorplan make_slicing_floorplan(Rng& rng, const SlicingOptions& options = {});
+
+}  // namespace thermo::floorplan

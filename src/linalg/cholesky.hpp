@@ -1,0 +1,32 @@
+// Cholesky factorization for symmetric positive-definite systems.
+// Thermal conductance matrices (after grounding) are SPD, so this is the
+// default steady-state solver: half the work of LU and a built-in
+// sanity check (a non-SPD conductance matrix indicates a model bug).
+#pragma once
+
+#include "linalg/dense_matrix.hpp"
+
+namespace thermo::linalg {
+
+class CholeskyDecomposition {
+ public:
+  /// Factors A = L Lᵗ. Throws NumericalError when A is not (numerically)
+  /// positive definite.
+  explicit CholeskyDecomposition(const DenseMatrix& a);
+
+  std::size_t size() const { return l_.rows(); }
+
+  /// Solves A x = b.
+  Vector solve(const Vector& b) const;
+
+  /// Lower-triangular factor.
+  const DenseMatrix& l() const { return l_; }
+
+ private:
+  DenseMatrix l_;
+};
+
+/// One-shot convenience: solve SPD system A x = b.
+Vector cholesky_solve(const DenseMatrix& a, const Vector& b);
+
+}  // namespace thermo::linalg

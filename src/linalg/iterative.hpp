@@ -1,0 +1,37 @@
+// Iterative solvers for sparse SPD / diagonally dominant systems.
+#pragma once
+
+#include <cstddef>
+
+#include "linalg/sparse.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace thermo::linalg {
+
+struct IterativeOptions {
+  double tolerance = 1e-10;      ///< relative residual target ||r||/||b||
+  std::size_t max_iterations = 10000;
+};
+
+struct IterativeResult {
+  Vector solution;
+  std::size_t iterations = 0;
+  double residual = 0.0;  ///< final relative residual
+  bool converged = false;
+};
+
+/// Conjugate gradients with Jacobi (diagonal) preconditioning.
+/// Requires a symmetric positive-definite matrix.
+IterativeResult conjugate_gradient(const SparseMatrix& a, const Vector& b,
+                                   const IterativeOptions& options = {});
+
+/// Gauss-Seidel sweeps; converges for diagonally dominant systems
+/// (thermal conductance matrices qualify).
+IterativeResult gauss_seidel(const SparseMatrix& a, const Vector& b,
+                             const IterativeOptions& options = {});
+
+/// Jacobi iteration; mostly a reference implementation for tests.
+IterativeResult jacobi(const SparseMatrix& a, const Vector& b,
+                       const IterativeOptions& options = {});
+
+}  // namespace thermo::linalg

@@ -1,0 +1,38 @@
+// LU decomposition with partial pivoting. Used to factor the transient
+// thermal system matrix once per step size and back-substitute per step.
+#pragma once
+
+#include "linalg/dense_matrix.hpp"
+
+namespace thermo::linalg {
+
+class LuDecomposition {
+ public:
+  /// Factors a square matrix; throws NumericalError when (numerically)
+  /// singular.
+  explicit LuDecomposition(const DenseMatrix& a);
+
+  std::size_t size() const { return lu_.rows(); }
+
+  /// Solves A x = b.
+  Vector solve(const Vector& b) const;
+
+  /// Solves A X = B column-by-column.
+  DenseMatrix solve(const DenseMatrix& b) const;
+
+  /// Determinant of the original matrix.
+  double determinant() const;
+
+  /// Inverse (prefer solve() when possible).
+  DenseMatrix inverse() const;
+
+ private:
+  DenseMatrix lu_;              // combined L (unit diagonal) and U
+  std::vector<std::size_t> perm_;  // row permutation
+  int permutation_sign_ = 1;
+};
+
+/// One-shot convenience: solve A x = b.
+Vector lu_solve(const DenseMatrix& a, const Vector& b);
+
+}  // namespace thermo::linalg

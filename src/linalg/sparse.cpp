@@ -1,0 +1,119 @@
+#include "linalg/sparse.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace thermo::linalg {
+
+SparseMatrix::Builder::Builder(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols) {}
+
+void SparseMatrix::Builder::add(std::size_t row, std::size_t col, double value) {
+  THERMO_REQUIRE(row < rows_ && col < cols_, "sparse add: index out of range");
+  coo_rows_.push_back(row);
+  coo_cols_.push_back(col);
+  coo_values_.push_back(value);
+}
+
+SparseMatrix SparseMatrix::Builder::build() const {
+  SparseMatrix m;
+  m.rows_ = rows_;
+  m.cols_ = cols_;
+
+  // Sort COO triplets by (row, col) via an index permutation.
+  std::vector<std::size_t> order(coo_rows_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (coo_rows_[a] != coo_rows_[b]) return coo_rows_[a] < coo_rows_[b];
+    return coo_cols_[a] < coo_cols_[b];
+  });
+
+  m.row_offsets_.assign(rows_ + 1, 0);
+  for (std::size_t k : order) {
+    const std::size_t r = coo_rows_[k];
+    const std::size_t c = coo_cols_[k];
+    const double v = coo_values_[k];
+    // Merge duplicates: same (r, c) as the last emitted entry.
+    if (!m.col_indices_.empty() && m.row_offsets_[r + 1] > m.row_offsets_[r] &&
+        m.col_indices_.back() == c &&
+        m.row_offsets_[r + 1] == m.col_indices_.size()) {
+      m.values_.back() += v;
+      continue;
+    }
+    m.col_indices_.push_back(c);
+    m.values_.push_back(v);
+    m.row_offsets_[r + 1] = m.col_indices_.size();
+  }
+  // Fill gaps for empty rows: offsets must be non-decreasing.
+  for (std::size_t r = 1; r <= rows_; ++r) {
+    m.row_offsets_[r] = std::max(m.row_offsets_[r], m.row_offsets_[r - 1]);
+  }
+  return m;
+}
+
+SparseMatrix SparseMatrix::from_dense(const DenseMatrix& dense, double drop_tol) {
+  Builder builder(dense.rows(), dense.cols());
+  for (std::size_t r = 0; r < dense.rows(); ++r) {
+    for (std::size_t c = 0; c < dense.cols(); ++c) {
+      const double v = dense(r, c);
+      if (std::fabs(v) > drop_tol) builder.add(r, c, v);
+    }
+  }
+  return builder.build();
+}
+
+Vector SparseMatrix::multiply(const Vector& x) const {
+  THERMO_REQUIRE(x.size() == cols_, "sparse multiply: dimension mismatch");
+  Vector y(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double sum = 0.0;
+    for (std::size_t k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k) {
+      sum += values_[k] * x[col_indices_[k]];
+    }
+    y[r] = sum;
+  }
+  return y;
+}
+
+double SparseMatrix::at(std::size_t row, std::size_t col) const {
+  THERMO_REQUIRE(row < rows_ && col < cols_, "sparse at: index out of range");
+  const auto begin = col_indices_.begin() +
+                     static_cast<std::ptrdiff_t>(row_offsets_[row]);
+  const auto end = col_indices_.begin() +
+                   static_cast<std::ptrdiff_t>(row_offsets_[row + 1]);
+  const auto it = std::lower_bound(begin, end, col);
+  if (it == end || *it != col) return 0.0;
+  return values_[static_cast<std::size_t>(it - col_indices_.begin())];
+}
+
+Vector SparseMatrix::diagonal() const {
+  THERMO_REQUIRE(rows_ == cols_, "diagonal: matrix must be square");
+  Vector d(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) d[r] = at(r, r);
+  return d;
+}
+
+DenseMatrix SparseMatrix::to_dense() const {
+  DenseMatrix dense(rows_, cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k) {
+      dense(r, col_indices_[k]) += values_[k];
+    }
+  }
+  return dense;
+}
+
+bool SparseMatrix::is_symmetric(double tol) const {
+  if (rows_ != cols_) return false;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k) {
+      if (std::fabs(values_[k] - at(col_indices_[k], r)) > tol) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace thermo::linalg

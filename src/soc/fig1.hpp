@@ -1,0 +1,29 @@
+// The motivational example of the paper (Figure 1): a hypothetical
+// 7-core SoC where every core dissipates the same 15 W during test but
+// core areas differ by 4x, so a 45 W chip-level power constraint admits
+// both TS1 = {C2, C3, C4} (small, dense, clustered cores -> hot spot)
+// and TS2 = {C5, C6, C7} (large cores -> cool), despite a ~58 C gap in
+// peak temperature.
+#pragma once
+
+#include "core/schedule.hpp"
+#include "core/soc_spec.hpp"
+
+namespace thermo::soc {
+
+/// The 7-core hypothetical SoC. Geometry: 10 mm x 15 mm die; C1 is a
+/// 4 mm x 15 mm slab; C2-C4 are 2 mm x 3 mm (6 mm^2); C5-C7 are
+/// 6 mm x 4 mm (24 mm^2): the power density of C2 is exactly 4x that
+/// of C5, as stated in the paper.
+core::SocSpec fig1_soc();
+
+/// TS1 = {C2, C3, C4}: 45 W total, high power density.
+core::TestSession fig1_session_ts1(const core::SocSpec& soc);
+
+/// TS2 = {C5, C6, C7}: 45 W total, low power density.
+core::TestSession fig1_session_ts2(const core::SocSpec& soc);
+
+/// The paper's chip-level power constraint for this example [W].
+inline constexpr double kFig1PowerLimit = 45.0;
+
+}  // namespace thermo::soc

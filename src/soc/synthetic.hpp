@@ -1,0 +1,25 @@
+// Random synthetic SoCs for property testing and scaling studies:
+// a random slicing floorplan plus test powers drawn so that power
+// densities spread over roughly an order of magnitude (the situation
+// that motivates thermal-aware scheduling).
+#pragma once
+
+#include "core/soc_spec.hpp"
+#include "util/rng.hpp"
+
+namespace thermo::soc {
+
+struct SyntheticOptions {
+  std::size_t core_count = 12;
+  double chip_width = 0.016;       ///< metres
+  double chip_height = 0.016;      ///< metres
+  double power_density_min = 2e5;  ///< W/m^2 (0.2 W/mm^2)
+  double power_density_max = 2e6;  ///< W/m^2 (2.0 W/mm^2)
+  double test_length_min = 1.0;    ///< s
+  double test_length_max = 1.0;    ///< s (set > min for ragged sessions)
+};
+
+/// Generates a valid SocSpec; deterministic for a given RNG state.
+core::SocSpec make_synthetic_soc(Rng& rng, const SyntheticOptions& options = {});
+
+}  // namespace thermo::soc

@@ -1,0 +1,69 @@
+#include "testaccess/test_structure.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace thermo::testaccess {
+
+std::size_t test_cycles(const CoreTestStructure& structure,
+                        std::size_t width) {
+  THERMO_REQUIRE(width >= 1, "TAM width must be at least 1");
+  THERMO_REQUIRE(structure.patterns >= 1, "need at least one pattern");
+  THERMO_REQUIRE(structure.scan_flops >= 1, "need at least one scan flop");
+  const std::size_t scan_cycles =
+      (structure.scan_flops + width - 1) / width;  // ceil(f / w)
+  return (1 + scan_cycles) * structure.patterns + scan_cycles;
+}
+
+double test_length_seconds(const CoreTestStructure& structure,
+                           std::size_t width, double clock_hz) {
+  THERMO_REQUIRE(clock_hz > 0.0, "clock frequency must be positive");
+  return static_cast<double>(test_cycles(structure, width)) / clock_hz;
+}
+
+double test_power_watts(const CoreTestStructure& structure,
+                        std::size_t width) {
+  THERMO_REQUIRE(width >= 1, "TAM width must be at least 1");
+  THERMO_REQUIRE(structure.power_per_bit >= 0.0,
+                 "power per bit must be non-negative");
+  const std::size_t effective = std::min(width, structure.scan_flops);
+  return structure.power_per_bit * static_cast<double>(effective);
+}
+
+core::SocSpec make_soc_from_structures(
+    const floorplan::Floorplan& flp,
+    const std::vector<CoreTestStructure>& structures, std::size_t tam_width,
+    double clock_hz, const thermal::PackageParams& package) {
+  flp.require_valid();
+  THERMO_REQUIRE(structures.size() == flp.size(),
+                 "one test structure per floorplan block required");
+
+  core::SocSpec soc;
+  soc.name = flp.name() + "-tam" + std::to_string(tam_width);
+  soc.flp = flp;
+  soc.package = package;
+  for (const CoreTestStructure& structure : structures) {
+    core::CoreTest test;
+    test.length = test_length_seconds(structure, tam_width, clock_hz);
+    test.power = test_power_watts(structure, tam_width);
+    soc.tests.push_back(test);
+  }
+  soc.validate();
+  return soc;
+}
+
+std::vector<WidthPoint> width_sweep(const CoreTestStructure& structure,
+                                    std::size_t max_width, double clock_hz) {
+  THERMO_REQUIRE(max_width >= 1, "max width must be at least 1");
+  std::vector<WidthPoint> points;
+  points.reserve(max_width);
+  for (std::size_t w = 1; w <= max_width; ++w) {
+    points.push_back(WidthPoint{w, test_length_seconds(structure, w, clock_hz),
+                                test_power_watts(structure, w)});
+  }
+  return points;
+}
+
+}  // namespace thermo::testaccess

@@ -1,0 +1,65 @@
+// Test-access substrate: derive per-core test lengths (and power) from
+// scan-test structural parameters, following the classic SoC test-access
+// cost model (Iyengar & Chakrabarty, VTS'01 - reference [4] of the
+// paper): a core with p patterns and internal scan chains balanced over
+// a TAM (test access mechanism) of width w needs
+//
+//     cycles(w) = (1 + ceil(f / w)) * p + ceil(f / w)
+//
+// clock cycles, where f is the core's scan flip-flop count; dividing by
+// the scan clock frequency gives the test length in seconds. Wider TAMs
+// shorten tests but raise simultaneous switching, so average test power
+// is modelled as growing with the effective scan bandwidth.
+//
+// This substrate lets the scheduler benches operate on structurally
+// realistic (rather than fixed 1 s) test sets and exposes the classic
+// width/time/power trade-off (examples/tam_exploration).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/soc_spec.hpp"
+
+namespace thermo::testaccess {
+
+struct CoreTestStructure {
+  std::size_t patterns = 0;     ///< test pattern count p
+  std::size_t scan_flops = 0;   ///< scan flip-flops f
+  /// Average switching power at 1 bit/cycle of scan bandwidth [W]; the
+  /// effective power scales with min(w, f) bits moved per cycle.
+  double power_per_bit = 0.05;
+};
+
+/// Scan cycles needed at TAM width w (w >= 1).
+std::size_t test_cycles(const CoreTestStructure& structure, std::size_t width);
+
+/// Test length in seconds at width w and scan clock `clock_hz`.
+double test_length_seconds(const CoreTestStructure& structure,
+                           std::size_t width, double clock_hz);
+
+/// Average test power at width w [W]: power_per_bit * min(w, scan_flops),
+/// saturating when the TAM is wider than the core's scan structure.
+double test_power_watts(const CoreTestStructure& structure, std::size_t width);
+
+/// Builds a schedulable SocSpec from per-core structures: every core is
+/// given the same TAM width (uniform-width TAM architecture).
+/// `structures` must align with `flp` blocks.
+core::SocSpec make_soc_from_structures(
+    const floorplan::Floorplan& flp,
+    const std::vector<CoreTestStructure>& structures, std::size_t tam_width,
+    double clock_hz, const thermal::PackageParams& package);
+
+/// Pareto sweep entry for one core: width vs time vs power.
+struct WidthPoint {
+  std::size_t width = 0;
+  double length_s = 0.0;
+  double power_w = 0.0;
+};
+
+/// All width points from 1..max_width (inclusive); monotone decreasing
+/// in time, increasing in power.
+std::vector<WidthPoint> width_sweep(const CoreTestStructure& structure,
+                                    std::size_t max_width, double clock_hz);
+
+}  // namespace thermo::testaccess

@@ -1,0 +1,110 @@
+#include "thermal/analyzer.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace thermo::thermal {
+
+ThermalAnalyzer::ThermalAnalyzer(const floorplan::Floorplan& fp,
+                                 const PackageParams& package)
+    : ThermalAnalyzer(fp, package, Options{}) {}
+
+ThermalAnalyzer::ThermalAnalyzer(const floorplan::Floorplan& fp,
+                                 const PackageParams& package, Options options)
+    : model_(fp, package), options_(options) {
+  THERMO_REQUIRE(options_.dt > 0.0, "analyzer dt must be positive");
+}
+
+SessionSimulation ThermalAnalyzer::simulate_session(
+    const std::vector<double>& block_power, double duration) {
+  THERMO_REQUIRE(duration > 0.0, "session duration must be positive");
+
+  SessionSimulation out;
+  out.simulated_time = duration;
+
+  if (options_.transient) {
+    TransientOptions topt;
+    topt.dt = options_.dt;
+    const TransientResult result = simulate_transient(
+        model_, block_power, duration, ambient_state(model_), topt);
+    out.peak_temperature.assign(
+        result.peak_temperature.begin(),
+        result.peak_temperature.begin() +
+            static_cast<std::ptrdiff_t>(model_.block_count()));
+  } else {
+    out.peak_temperature = steady_block_temperatures(block_power);
+  }
+
+  const auto hottest =
+      std::max_element(out.peak_temperature.begin(), out.peak_temperature.end());
+  out.max_temperature = *hottest;
+  out.hottest_block =
+      static_cast<std::size_t>(hottest - out.peak_temperature.begin());
+
+  simulation_effort_ += duration;
+  ++simulation_count_;
+  return out;
+}
+
+std::vector<double> ThermalAnalyzer::steady_block_temperatures(
+    const std::vector<double>& block_power) const {
+  const SteadyStateResult result = solve_steady_state(model_, block_power);
+  return std::vector<double>(
+      result.temperature.begin(),
+      result.temperature.begin() +
+          static_cast<std::ptrdiff_t>(model_.block_count()));
+}
+
+ThermalAnalyzer::Chained ThermalAnalyzer::simulate_session_from(
+    const std::vector<double>& block_power, double duration,
+    const std::vector<double>& initial_state) {
+  THERMO_REQUIRE(duration > 0.0, "session duration must be positive");
+  THERMO_REQUIRE(options_.transient,
+                 "chained simulation requires the transient oracle");
+
+  TransientOptions topt;
+  topt.dt = options_.dt;
+  const TransientResult result =
+      simulate_transient(model_, block_power, duration, initial_state, topt);
+
+  Chained out;
+  out.final_state = result.final_temperature;
+  out.session.simulated_time = duration;
+  out.session.peak_temperature.assign(
+      result.peak_temperature.begin(),
+      result.peak_temperature.begin() +
+          static_cast<std::ptrdiff_t>(model_.block_count()));
+  const auto hottest = std::max_element(out.session.peak_temperature.begin(),
+                                        out.session.peak_temperature.end());
+  out.session.max_temperature = *hottest;
+  out.session.hottest_block =
+      static_cast<std::size_t>(hottest - out.session.peak_temperature.begin());
+
+  simulation_effort_ += duration;
+  ++simulation_count_;
+  return out;
+}
+
+std::vector<double> ThermalAnalyzer::ambient_node_state() const {
+  return ambient_state(model_);
+}
+
+std::vector<double> ThermalAnalyzer::cool_down(
+    const std::vector<double>& state, double gap) const {
+  THERMO_REQUIRE(gap >= 0.0, "cooling gap must be non-negative");
+  if (gap == 0.0) return state;
+  TransientOptions topt;
+  topt.dt = options_.dt;
+  const TransientResult result = simulate_transient(
+      model_, std::vector<double>(model_.block_count(), 0.0), gap, state,
+      topt);
+  return result.final_temperature;
+}
+
+void ThermalAnalyzer::reset_effort() {
+  simulation_effort_ = 0.0;
+  simulation_count_ = 0;
+}
+
+}  // namespace thermo::thermal

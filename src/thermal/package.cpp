@@ -1,0 +1,35 @@
+#include "thermal/package.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace thermo::thermal {
+
+void PackageParams::validate() const {
+  auto positive = [](double v, const char* what) {
+    THERMO_REQUIRE(std::isfinite(v) && v > 0.0,
+                   std::string(what) + " must be positive and finite");
+  };
+  positive(t_die, "t_die");
+  positive(k_die, "k_die");
+  positive(c_die, "c_die");
+  positive(t_tim, "t_tim");
+  positive(k_tim, "k_tim");
+  positive(spreader_side, "spreader_side");
+  positive(t_spreader, "t_spreader");
+  positive(k_spreader, "k_spreader");
+  positive(c_spreader, "c_spreader");
+  positive(sink_side, "sink_side");
+  positive(t_sink, "t_sink");
+  positive(k_sink, "k_sink");
+  positive(c_sink, "c_sink");
+  positive(r_convec, "r_convec");
+  positive(c_convec, "c_convec");
+  positive(capacity_factor, "capacity_factor");
+  THERMO_REQUIRE(std::isfinite(ambient), "ambient must be finite");
+  THERMO_REQUIRE(sink_side >= spreader_side,
+                 "heat sink must be at least as large as the spreader");
+}
+
+}  // namespace thermo::thermal

@@ -1,0 +1,47 @@
+// Thermal package description: die + TIM + heat spreader + heat sink +
+// convection, following the HotSpot block-model stack (Skadron et al.,
+// "Temperature-aware microarchitecture", ISCAS 2003). All parameters are
+// SI; temperatures are degrees Celsius.
+#pragma once
+
+namespace thermo::thermal {
+
+struct PackageParams {
+  // --- silicon die ---
+  double t_die = 0.5e-3;   ///< die thickness [m]
+  double k_die = 100.0;    ///< silicon thermal conductivity [W/(m K)]
+  double c_die = 1.75e6;   ///< silicon volumetric heat capacity [J/(m^3 K)]
+
+  // --- thermal interface material between die and spreader ---
+  double t_tim = 7.5e-5;   ///< TIM thickness [m] (HotSpot default 75 um)
+  double k_tim = 4.0;      ///< TIM conductivity [W/(m K)]
+
+  // --- copper heat spreader ---
+  double spreader_side = 0.03;   ///< [m]
+  double t_spreader = 1.0e-3;    ///< [m]
+  double k_spreader = 400.0;     ///< [W/(m K)]
+  double c_spreader = 3.55e6;    ///< [J/(m^3 K)]
+
+  // --- heat sink base ---
+  double sink_side = 0.06;   ///< [m]
+  double t_sink = 6.9e-3;    ///< [m]
+  double k_sink = 400.0;     ///< [W/(m K)]
+  double c_sink = 3.55e6;    ///< [J/(m^3 K)]
+
+  // --- convection from sink to ambient ---
+  double r_convec = 0.3;     ///< total convection resistance [K/W]
+  double c_convec = 140.4;   ///< lumped convection capacitance [J/K]
+
+  double ambient = 45.0;     ///< ambient temperature [deg C]
+
+  /// HotSpot-style lumped-capacity fitting factor applied to block
+  /// capacitances (compensates for the lumping error of the block model).
+  double capacity_factor = 0.5;
+
+  /// Throws InvalidArgument when any parameter is non-physical
+  /// (non-positive thickness/conductivity/capacity, spreader smaller
+  /// than the die would require, ...).
+  void validate() const;
+};
+
+}  // namespace thermo::thermal

@@ -1,0 +1,58 @@
+#include "thermal/steady_state.hpp"
+
+#include <algorithm>
+
+#include "linalg/cholesky.hpp"
+#include "linalg/iterative.hpp"
+#include "linalg/lu.hpp"
+#include "util/error.hpp"
+
+namespace thermo::thermal {
+
+SteadyStateResult solve_steady_state(const RCModel& model,
+                                     const std::vector<double>& block_power,
+                                     SteadySolver solver) {
+  const std::vector<double> power = model.expand_power(block_power);
+
+  SteadyStateResult result;
+  switch (solver) {
+    case SteadySolver::kCholesky:
+      result.rise = linalg::cholesky_solve(model.conductance(), power);
+      break;
+    case SteadySolver::kLu:
+      result.rise = linalg::lu_solve(model.conductance(), power);
+      break;
+    case SteadySolver::kConjugateGradient: {
+      linalg::IterativeOptions options;
+      options.tolerance = 1e-12;
+      options.max_iterations = 20ul * model.node_count() + 100ul;
+      linalg::IterativeResult cg =
+          linalg::conjugate_gradient(model.conductance_sparse(), power, options);
+      if (!cg.converged) {
+        throw NumericalError("steady state: CG failed to converge (residual " +
+                             std::to_string(cg.residual) + ")");
+      }
+      result.rise = std::move(cg.solution);
+      break;
+    }
+  }
+
+  result.temperature.resize(result.rise.size());
+  const double ambient = model.package().ambient;
+  for (std::size_t i = 0; i < result.rise.size(); ++i) {
+    result.temperature[i] = ambient + result.rise[i];
+  }
+  return result;
+}
+
+double max_block_temperature(const RCModel& model,
+                             const SteadyStateResult& result) {
+  THERMO_REQUIRE(result.temperature.size() == model.node_count(),
+                 "result does not match the model");
+  THERMO_REQUIRE(model.block_count() > 0, "model has no blocks");
+  return *std::max_element(
+      result.temperature.begin(),
+      result.temperature.begin() + static_cast<std::ptrdiff_t>(model.block_count()));
+}
+
+}  // namespace thermo::thermal

@@ -1,0 +1,34 @@
+// Steady-state thermal analysis: solve G * dT = P for the temperature
+// rise over ambient.
+#pragma once
+
+#include <vector>
+
+#include "thermal/rc_model.hpp"
+
+namespace thermo::thermal {
+
+enum class SteadySolver {
+  kCholesky,      ///< dense Cholesky (default; exact, fine up to ~2k nodes)
+  kLu,            ///< dense LU (reference / cross-check)
+  kConjugateGradient  ///< sparse Jacobi-preconditioned CG (large floorplans)
+};
+
+struct SteadyStateResult {
+  /// Absolute temperature per node [deg C], ambient included.
+  std::vector<double> temperature;
+  /// Temperature rise over ambient per node [K].
+  std::vector<double> rise;
+};
+
+/// Solves the steady state for per-block power [W] (size = block count).
+/// Throws NumericalError when the system cannot be solved.
+SteadyStateResult solve_steady_state(const RCModel& model,
+                                     const std::vector<double>& block_power,
+                                     SteadySolver solver = SteadySolver::kCholesky);
+
+/// Maximum block temperature (die nodes only) of a steady-state result.
+double max_block_temperature(const RCModel& model,
+                             const SteadyStateResult& result);
+
+}  // namespace thermo::thermal

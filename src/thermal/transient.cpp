@@ -1,0 +1,105 @@
+#include "thermal/transient.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/ode.hpp"
+#include "util/error.hpp"
+
+namespace thermo::thermal {
+
+std::vector<double> ambient_state(const RCModel& model) {
+  return std::vector<double>(model.node_count(), model.package().ambient);
+}
+
+TransientResult simulate_transient(const RCModel& model,
+                                   const std::vector<double>& block_power,
+                                   double duration,
+                                   const std::vector<double>& initial,
+                                   const TransientOptions& options) {
+  THERMO_REQUIRE(duration >= 0.0 && std::isfinite(duration),
+                 "duration must be non-negative and finite");
+  THERMO_REQUIRE(options.dt > 0.0, "dt must be positive");
+  THERMO_REQUIRE(initial.size() == model.node_count(),
+                 "initial state size must equal the node count");
+
+  const std::vector<double> power = model.expand_power(block_power);
+  const double ambient = model.package().ambient;
+  const std::size_t n = model.node_count();
+
+  // Work in temperature rise over ambient: C x' = p - G x.
+  std::vector<double> state(n);
+  for (std::size_t i = 0; i < n; ++i) state[i] = initial[i] - ambient;
+
+  TransientResult result;
+  result.final_temperature = initial;
+  result.peak_temperature = initial;
+
+  auto record = [&](const std::vector<double>& rise) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double temp = ambient + rise[i];
+      result.peak_temperature[i] = std::max(result.peak_temperature[i], temp);
+    }
+    if (options.observer) {
+      std::vector<double> absolute(n);
+      for (std::size_t i = 0; i < n; ++i) absolute[i] = ambient + rise[i];
+      options.observer(static_cast<double>(result.steps) * options.dt, absolute);
+    }
+  };
+
+  if (duration == 0.0) return result;
+
+  const std::vector<double>& capacitance = model.capacitance();
+
+  if (options.integrator == TransientIntegrator::kBackwardEuler) {
+    const linalg::LinearImplicitStepper stepper(model.conductance(),
+                                                capacitance, options.dt);
+    double t = 0.0;
+    while (t < duration - 1e-15) {
+      const double step = std::min(options.dt, duration - t);
+      if (step < options.dt * (1.0 - 1e-12)) {
+        // Final fractional step: factor a one-off stepper.
+        const linalg::LinearImplicitStepper last(model.conductance(),
+                                                 capacitance, step);
+        state = last.step(state, power);
+      } else {
+        state = stepper.step(state, power);
+      }
+      t += step;
+      ++result.steps;
+      record(state);
+    }
+  } else {
+    const auto& g = model.conductance();
+    const auto rhs = [&](double, const linalg::Vector& x) {
+      linalg::Vector dx = g.multiply(x);
+      for (std::size_t i = 0; i < n; ++i) {
+        dx[i] = (power[i] - dx[i]) / capacitance[i];
+      }
+      return dx;
+    };
+    state = linalg::rk4_integrate(
+        rhs, 0.0, duration, state, options.dt,
+        [&](double, const linalg::Vector& x) {
+          ++result.steps;
+          record(x);
+        });
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    result.final_temperature[i] = ambient + state[i];
+  }
+  return result;
+}
+
+double max_block_peak(const RCModel& model, const TransientResult& result) {
+  THERMO_REQUIRE(result.peak_temperature.size() == model.node_count(),
+                 "result does not match the model");
+  THERMO_REQUIRE(model.block_count() > 0, "model has no blocks");
+  return *std::max_element(
+      result.peak_temperature.begin(),
+      result.peak_temperature.begin() +
+          static_cast<std::ptrdiff_t>(model.block_count()));
+}
+
+}  // namespace thermo::thermal

@@ -1,0 +1,52 @@
+// Transient thermal simulation:  C dT/dt = P - G (T - T_amb).
+//
+// The system is stiff (die time constants are milliseconds, the heat
+// sink's are tens of seconds), so the default integrator is backward
+// Euler with a factored system matrix; RK4 is available for
+// cross-validation on short horizons.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "thermal/rc_model.hpp"
+
+namespace thermo::thermal {
+
+enum class TransientIntegrator {
+  kBackwardEuler,  ///< implicit, unconditionally stable (default)
+  kRk4             ///< explicit, accurate but needs tiny steps when stiff
+};
+
+struct TransientOptions {
+  double dt = 1e-3;  ///< step size [s]
+  TransientIntegrator integrator = TransientIntegrator::kBackwardEuler;
+  /// Optional per-step observer (t, absolute node temperatures).
+  std::function<void(double, const std::vector<double>&)> observer;
+};
+
+struct TransientResult {
+  /// Absolute node temperatures at the end of the horizon [deg C].
+  std::vector<double> final_temperature;
+  /// Per-node maximum absolute temperature over the horizon [deg C]
+  /// (includes the initial state).
+  std::vector<double> peak_temperature;
+  std::size_t steps = 0;
+};
+
+/// Simulates `duration` seconds with constant per-block power, starting
+/// from `initial` absolute node temperatures (pass ambient_state() to
+/// start cold).
+TransientResult simulate_transient(const RCModel& model,
+                                   const std::vector<double>& block_power,
+                                   double duration,
+                                   const std::vector<double>& initial,
+                                   const TransientOptions& options = {});
+
+/// All-nodes-at-ambient initial state for a model.
+std::vector<double> ambient_state(const RCModel& model);
+
+/// Maximum die-block entry of a per-node peak-temperature vector.
+double max_block_peak(const RCModel& model, const TransientResult& result);
+
+}  // namespace thermo::thermal

@@ -1,0 +1,20 @@
+#include "util/error.hpp"
+
+#include <sstream>
+#include <string_view>
+
+namespace thermo::detail {
+
+[[noreturn]] void throw_require_failure(const char* kind, const char* expr,
+                                        const std::string& message,
+                                        std::source_location loc) {
+  std::ostringstream os;
+  os << loc.file_name() << ':' << loc.line() << ": " << kind << " failed ["
+     << expr << "]: " << message;
+  if (std::string_view(kind) == "invariant") {
+    throw LogicError(os.str());
+  }
+  throw InvalidArgument(os.str());
+}
+
+}  // namespace thermo::detail

@@ -1,0 +1,30 @@
+#include "util/logging.hpp"
+
+#include <iostream>
+
+namespace thermo {
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "trace";
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "?";
+}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::write(LogLevel level, const std::string& message) {
+  if (!enabled(level)) return;
+  std::ostream& out = sink_ != nullptr ? *sink_ : std::cerr;
+  out << "[thermo:" << log_level_name(level) << "] " << message << '\n';
+}
+
+}  // namespace thermo

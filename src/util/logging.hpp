@@ -1,0 +1,67 @@
+// Minimal leveled logger. Output goes to stderr by default so that bench
+// binaries can keep stdout clean for machine-readable results.
+#pragma once
+
+#include <ostream>
+#include <sstream>
+#include <string>
+
+namespace thermo {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Returns a human-readable name ("info", "warn"...) for a level.
+const char* log_level_name(LogLevel level);
+
+/// Global logger configuration. Not thread-safe by design: configure once
+/// at startup, log from one thread (all ThermoSched algorithms are
+/// single-threaded).
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  /// Redirects output (tests use this to capture messages). The stream
+  /// must outlive the logger's use of it; pass nullptr to restore stderr.
+  void set_sink(std::ostream* sink) { sink_ = sink; }
+
+  bool enabled(LogLevel level) const { return level >= level_ && level_ != LogLevel::kOff; }
+
+  void write(LogLevel level, const std::string& message);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarn;
+  std::ostream* sink_ = nullptr;
+};
+
+namespace detail {
+class LogLine {
+ public:
+  LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Logger::instance().write(level_, os_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace thermo
+
+#define THERMO_LOG(level)                                  \
+  if (::thermo::Logger::instance().enabled(level))         \
+  ::thermo::detail::LogLine(level)
+
+#define THERMO_TRACE() THERMO_LOG(::thermo::LogLevel::kTrace)
+#define THERMO_DEBUG() THERMO_LOG(::thermo::LogLevel::kDebug)
+#define THERMO_INFO() THERMO_LOG(::thermo::LogLevel::kInfo)
+#define THERMO_WARN() THERMO_LOG(::thermo::LogLevel::kWarn)
+#define THERMO_ERROR() THERMO_LOG(::thermo::LogLevel::kError)

@@ -1,0 +1,40 @@
+// Text and SVG renderers for floorplans and thermal fields: quick
+// eyeballing of hot spots without external tooling.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "floorplan/floorplan.hpp"
+
+namespace thermo::viz {
+
+/// Renders a row-major cell-temperature field (rows x cols, row 0 at the
+/// bottom, printed top-down) as an ASCII heat map using the ramp
+/// " .:-=+*#%@" between min and max.
+std::string ascii_heatmap(const std::vector<double>& cells, std::size_t rows,
+                          std::size_t cols);
+
+/// Renders per-block values on a floorplan as an ASCII map sampled onto
+/// a character raster of the given width (height follows aspect ratio).
+std::string ascii_block_map(const floorplan::Floorplan& fp,
+                            const std::vector<double>& block_values,
+                            std::size_t width = 48);
+
+struct SvgOptions {
+  double scale = 40000.0;  ///< pixels per metre (16 mm die -> 640 px)
+  bool show_names = true;
+  bool show_values = true;
+  /// Colour range; when lo == hi the range is taken from the data.
+  double range_lo = 0.0;
+  double range_hi = 0.0;
+};
+
+/// Renders the floorplan as an SVG document, colouring each block by its
+/// value (blue = cool, red = hot). Block values may be temperatures,
+/// power densities, weights...
+std::string svg_floorplan(const floorplan::Floorplan& fp,
+                          const std::vector<double>& block_values,
+                          const SvgOptions& options = {});
+
+}  // namespace thermo::viz

@@ -1,0 +1,112 @@
+#include "core/exact_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/safety_checker.hpp"
+#include "core/thermal_scheduler.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace thermo::core {
+namespace {
+
+using thermo::testing::nine_soc;
+
+class ExactSchedulerTest : public ::testing::Test {
+ protected:
+  SocSpec soc_ = nine_soc(6.0);
+  thermal::ThermalAnalyzer analyzer_{soc_.flp, soc_.package};
+};
+
+TEST_F(ExactSchedulerTest, ProducesCompleteSafeSchedule) {
+  ExactSchedulerOptions options;
+  options.temperature_limit = 110.0;
+  const ExactScheduler scheduler(options);
+  const ScheduleResult result = scheduler.generate(soc_, analyzer_);
+  EXPECT_TRUE(result.schedule.is_complete(soc_));
+  const SafetyChecker checker(110.0);
+  EXPECT_TRUE(checker.check(soc_, result.schedule, analyzer_).safe);
+}
+
+TEST_F(ExactSchedulerTest, RelaxedLimitNeedsFewSessions) {
+  ExactSchedulerOptions options;
+  options.temperature_limit = 1000.0;  // everything fits together
+  const ExactScheduler scheduler(options);
+  const ScheduleResult result = scheduler.generate(soc_, analyzer_);
+  EXPECT_EQ(result.schedule.session_count(), 1u);
+}
+
+TEST_F(ExactSchedulerTest, TightLimitForcesSequential) {
+  // Just above the hottest solo temperature: any pairing violates.
+  // Find the hottest solo first.
+  double hottest = 0.0;
+  for (std::size_t i = 0; i < soc_.core_count(); ++i) {
+    TestSession solo;
+    solo.cores.push_back(i);
+    const auto sim = analyzer_.simulate_session(solo.power_map(soc_), 1.0);
+    hottest = std::max(hottest, sim.peak_temperature[i]);
+  }
+  ExactSchedulerOptions options;
+  options.temperature_limit = hottest + 0.05;
+  const ExactScheduler scheduler(options);
+  const ScheduleResult result = scheduler.generate(soc_, analyzer_);
+  // Sequential or near-sequential: no session may pair two hot
+  // neighbours, and the count must be close to n.
+  EXPECT_GE(result.schedule.session_count(), soc_.core_count() / 2);
+  EXPECT_TRUE(result.schedule.is_complete(soc_));
+}
+
+TEST_F(ExactSchedulerTest, NeverWorseThanGreedyHeuristic) {
+  // The whole point: optimal session count <= Algorithm 1's.
+  for (double tl : {100.0, 115.0, 130.0}) {
+    ExactSchedulerOptions eopt;
+    eopt.temperature_limit = tl;
+    const ScheduleResult exact =
+        ExactScheduler(eopt).generate(soc_, analyzer_);
+
+    ThermalSchedulerOptions hopt;
+    hopt.temperature_limit = tl;
+    hopt.stc_limit = 1e6;
+    const ScheduleResult greedy =
+        ThermalAwareScheduler(hopt).generate(soc_, analyzer_);
+
+    EXPECT_LE(exact.schedule.session_count(), greedy.schedule.session_count())
+        << "TL = " << tl;
+  }
+}
+
+TEST_F(ExactSchedulerTest, UnschedulableCoreThrows) {
+  ExactSchedulerOptions options;
+  options.temperature_limit = 46.0;  // below every solo peak
+  const ExactScheduler scheduler(options);
+  EXPECT_THROW(scheduler.generate(soc_, analyzer_), InvalidArgument);
+}
+
+TEST_F(ExactSchedulerTest, RefusesOversizedInstances) {
+  ExactSchedulerOptions options;
+  options.max_cores = 4;
+  const ExactScheduler scheduler(options);
+  EXPECT_THROW(scheduler.generate(soc_, analyzer_), InvalidArgument);
+}
+
+TEST_F(ExactSchedulerTest, OptionValidation) {
+  ExactSchedulerOptions bad;
+  bad.max_cores = 0;
+  EXPECT_THROW(ExactScheduler{bad}, InvalidArgument);
+  bad = ExactSchedulerOptions{};
+  bad.max_cores = 21;
+  EXPECT_THROW(ExactScheduler{bad}, InvalidArgument);
+}
+
+TEST_F(ExactSchedulerTest, EffortCountsDistinctSubsetsOnly) {
+  ExactSchedulerOptions options;
+  options.temperature_limit = 120.0;
+  const ExactScheduler scheduler(options);
+  const ScheduleResult result = scheduler.generate(soc_, analyzer_);
+  // At most 2^9 distinct subsets can ever be simulated (1 s each).
+  EXPECT_LE(result.simulation_count, 512u);
+  EXPECT_GT(result.simulation_count, 0u);
+}
+
+}  // namespace
+}  // namespace thermo::core

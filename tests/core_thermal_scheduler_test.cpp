@@ -1,0 +1,229 @@
+// Tests of Algorithm 1 (the thermal-aware scheduler).
+#include "core/thermal_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/safety_checker.hpp"
+#include "soc/alpha.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace thermo::core {
+namespace {
+
+using thermo::testing::nine_soc;
+
+ThermalSchedulerOptions basic_options(double tl = 200.0, double stcl = 1e7) {
+  ThermalSchedulerOptions options;
+  options.temperature_limit = tl;
+  options.stc_limit = stcl;
+  return options;
+}
+
+class ThermalSchedulerTest : public ::testing::Test {
+ protected:
+  SocSpec soc_ = nine_soc(6.0);
+  thermal::ThermalAnalyzer analyzer_{soc_.flp, soc_.package};
+};
+
+TEST_F(ThermalSchedulerTest, SchedulesEveryCoreExactlyOnce) {
+  const ThermalAwareScheduler scheduler(basic_options());
+  const ScheduleResult result = scheduler.generate(soc_, analyzer_);
+  EXPECT_TRUE(result.schedule.is_complete(soc_));
+}
+
+TEST_F(ThermalSchedulerTest, RelaxedLimitsAllowLargeSessions) {
+  // TL far above any reachable temperature and unbounded STCL: only the
+  // enclosed-centre constraint forces more than one session.
+  const ThermalAwareScheduler scheduler(basic_options());
+  const ScheduleResult result = scheduler.generate(soc_, analyzer_);
+  EXPECT_LE(result.schedule.session_count(), 3u);
+  EXPECT_EQ(result.discarded_sessions, 0u);
+  EXPECT_DOUBLE_EQ(result.simulation_effort, result.schedule_length);
+}
+
+TEST_F(ThermalSchedulerTest, TightStclForcesSequentialSchedule) {
+  // STCL below every solo STC: the force-first rule degrades to one core
+  // per session.
+  const ThermalAwareScheduler scheduler(basic_options(200.0, 1e-9));
+  const ScheduleResult result = scheduler.generate(soc_, analyzer_);
+  EXPECT_EQ(result.schedule.session_count(), soc_.core_count());
+  for (const TestSession& session : result.schedule.sessions) {
+    EXPECT_EQ(session.size(), 1u);
+  }
+}
+
+TEST_F(ThermalSchedulerTest, ResultIsThermallySafe) {
+  const double tl = 120.0;
+  const ThermalAwareScheduler scheduler(basic_options(tl));
+  const ScheduleResult result = scheduler.generate(soc_, analyzer_);
+  const SafetyChecker checker(tl);
+  const SafetyReport report = checker.check(soc_, result.schedule, analyzer_);
+  EXPECT_TRUE(report.safe) << report.to_string(soc_);
+  EXPECT_LT(result.max_temperature, tl);
+}
+
+TEST_F(ThermalSchedulerTest, BcmtMatchesSequentialSimulation) {
+  const ThermalAwareScheduler scheduler(basic_options());
+  const ScheduleResult result = scheduler.generate(soc_, analyzer_);
+  ASSERT_EQ(result.bcmt.size(), soc_.core_count());
+  for (std::size_t i = 0; i < soc_.core_count(); ++i) {
+    TestSession solo;
+    solo.cores.push_back(i);
+    const auto sim =
+        analyzer_.simulate_session(solo.power_map(soc_), solo.length(soc_));
+    EXPECT_NEAR(result.bcmt[i], sim.peak_temperature[i], 1e-9);
+  }
+}
+
+TEST_F(ThermalSchedulerTest, PrecheckEffortIsSeparateFromMainEffort) {
+  const ThermalAwareScheduler scheduler(basic_options());
+  const ScheduleResult result = scheduler.generate(soc_, analyzer_);
+  // 9 cores x 1 s pre-pass.
+  EXPECT_DOUBLE_EQ(result.precheck_effort, 9.0);
+  EXPECT_GE(result.simulation_effort, result.schedule_length);
+}
+
+TEST_F(ThermalSchedulerTest, SoloViolationThrowsByDefault) {
+  // TL below the coolest solo temperature: the pre-pass must refuse.
+  const ThermalAwareScheduler scheduler(basic_options(46.0));
+  EXPECT_THROW(scheduler.generate(soc_, analyzer_), InvalidArgument);
+}
+
+TEST_F(ThermalSchedulerTest, SoloViolationRaiseLimitPolicy) {
+  ThermalSchedulerOptions options = basic_options(46.0);
+  options.solo_policy = SoloViolationPolicy::kRaiseLimit;
+  const ThermalAwareScheduler scheduler(options);
+  const ScheduleResult result = scheduler.generate(soc_, analyzer_);
+  EXPECT_TRUE(result.schedule.is_complete(soc_));
+  EXPECT_GT(scheduler.effective_temperature_limit(), 46.0);
+  EXPECT_FALSE(result.notes.empty());
+}
+
+TEST_F(ThermalSchedulerTest, SoloViolationExcludePolicy) {
+  // Make one core absurdly hot so only it violates a moderate TL.
+  SocSpec soc = nine_soc(6.0);
+  soc.tests[4].power = 200.0;
+  thermal::ThermalAnalyzer analyzer(soc.flp, soc.package);
+  ThermalSchedulerOptions options = basic_options(120.0);
+  options.solo_policy = SoloViolationPolicy::kExclude;
+  const ThermalAwareScheduler scheduler(options);
+  const ScheduleResult result = scheduler.generate(soc, analyzer);
+  EXPECT_FALSE(result.schedule.is_complete(soc));
+  for (const TestSession& session : result.schedule.sessions) {
+    EXPECT_FALSE(session.contains(4));
+  }
+  EXPECT_EQ(result.schedule.scheduled_core_count(), soc.core_count() - 1);
+  ASSERT_EQ(result.notes.size(), 1u);
+  EXPECT_NE(result.notes[0].find("excluded"), std::string::npos);
+}
+
+TEST_F(ThermalSchedulerTest, DeterministicAcrossRuns) {
+  const ThermalAwareScheduler scheduler(basic_options(120.0, 1e6));
+  const ScheduleResult a = scheduler.generate(soc_, analyzer_);
+  const ScheduleResult b = scheduler.generate(soc_, analyzer_);
+  ASSERT_EQ(a.schedule.session_count(), b.schedule.session_count());
+  for (std::size_t s = 0; s < a.schedule.sessions.size(); ++s) {
+    EXPECT_EQ(a.schedule.sessions[s].cores, b.schedule.sessions[s].cores);
+  }
+  EXPECT_DOUBLE_EQ(a.simulation_effort, b.simulation_effort);
+}
+
+TEST_F(ThermalSchedulerTest, EffortEqualsLengthWhenNoDiscards) {
+  const ThermalAwareScheduler scheduler(basic_options());
+  const ScheduleResult result = scheduler.generate(soc_, analyzer_);
+  EXPECT_EQ(result.discarded_sessions, 0u);
+  EXPECT_DOUBLE_EQ(result.simulation_effort, result.schedule_length);
+  EXPECT_EQ(result.simulation_count, result.schedule.session_count());
+}
+
+TEST_F(ThermalSchedulerTest, OutcomesMatchSchedule) {
+  const ThermalAwareScheduler scheduler(basic_options(120.0));
+  const ScheduleResult result = scheduler.generate(soc_, analyzer_);
+  ASSERT_EQ(result.outcomes.size(), result.schedule.session_count());
+  for (std::size_t s = 0; s < result.outcomes.size(); ++s) {
+    EXPECT_EQ(result.outcomes[s].session.cores,
+              result.schedule.sessions[s].cores);
+    EXPECT_LT(result.outcomes[s].max_temperature, 120.0);
+    EXPECT_DOUBLE_EQ(result.outcomes[s].length, 1.0);
+  }
+}
+
+TEST_F(ThermalSchedulerTest, AttemptCapThrowsLogicError) {
+  ThermalSchedulerOptions options = basic_options(120.0);
+  options.max_attempts = 1;
+  options.weight_factor = 1.0 + 1e-12;  // effectively no adaptation
+  const ThermalAwareScheduler scheduler(options);
+  // With a low TL this SoC needs several sessions -> more than 1 attempt.
+  EXPECT_THROW(scheduler.generate(soc_, analyzer_), LogicError);
+}
+
+TEST_F(ThermalSchedulerTest, OptionValidation) {
+  ThermalSchedulerOptions bad;
+  bad.stc_limit = 0.0;
+  EXPECT_THROW(ThermalAwareScheduler{bad}, InvalidArgument);
+  bad = ThermalSchedulerOptions{};
+  bad.weight_factor = 0.9;
+  EXPECT_THROW(ThermalAwareScheduler{bad}, InvalidArgument);
+  bad = ThermalSchedulerOptions{};
+  bad.max_attempts = 0;
+  EXPECT_THROW(ThermalAwareScheduler{bad}, InvalidArgument);
+}
+
+TEST_F(ThermalSchedulerTest, MismatchedAnalyzerRejected) {
+  const SocSpec other = soc::alpha_soc();
+  thermal::ThermalAnalyzer other_analyzer(other.flp, other.package);
+  const ThermalAwareScheduler scheduler(basic_options());
+  EXPECT_THROW(scheduler.generate(soc_, other_analyzer), InvalidArgument);
+}
+
+// Core-order policies all produce complete, safe schedules.
+class CoreOrderProperty : public ::testing::TestWithParam<CoreOrder> {};
+
+TEST_P(CoreOrderProperty, CompleteAndSafeUnderAnyOrder) {
+  const SocSpec soc = nine_soc(6.0);
+  thermal::ThermalAnalyzer analyzer(soc.flp, soc.package);
+  ThermalSchedulerOptions options;
+  options.temperature_limit = 110.0;
+  options.stc_limit = 2000.0;
+  options.core_order = GetParam();
+  const ThermalAwareScheduler scheduler(options);
+  const ScheduleResult result = scheduler.generate(soc, analyzer);
+  EXPECT_TRUE(result.schedule.is_complete(soc));
+  EXPECT_LT(result.max_temperature, 110.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOrders, CoreOrderProperty,
+                         ::testing::Values(CoreOrder::kInputOrder,
+                                           CoreOrder::kDescendingPower,
+                                           CoreOrder::kDescendingSoloTc,
+                                           CoreOrder::kAscendingSoloTc));
+
+// STCL sweep property: tighter STCL never uses *more* simulation effort
+// than it saves in this regime, and schedules stay complete and safe.
+class StclSweepProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(StclSweepProperty, CompleteSafeAndAccounted) {
+  const SocSpec soc = soc::alpha_soc();
+  thermal::ThermalAnalyzer analyzer(soc.flp, soc.package);
+  ThermalSchedulerOptions options;
+  options.temperature_limit = 165.0;
+  options.stc_limit = GetParam();
+  options.model.stc_scale = soc::alpha_stc_scale();
+  const ThermalAwareScheduler scheduler(options);
+  const ScheduleResult result = scheduler.generate(soc, analyzer);
+  EXPECT_TRUE(result.schedule.is_complete(soc));
+  EXPECT_LT(result.max_temperature, 165.0);
+  EXPECT_GE(result.simulation_effort, result.schedule_length);
+  // effort = committed sessions + discarded attempts (1 s each here).
+  EXPECT_DOUBLE_EQ(result.simulation_effort,
+                   result.schedule_length +
+                       static_cast<double>(result.discarded_sessions));
+}
+
+INSTANTIATE_TEST_SUITE_P(StclRange, StclSweepProperty,
+                         ::testing::Values(20.0, 30.0, 40.0, 50.0, 60.0, 70.0,
+                                           80.0, 90.0, 100.0));
+
+}  // namespace
+}  // namespace thermo::core

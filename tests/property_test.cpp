@@ -1,0 +1,148 @@
+// Cross-module property sweeps over randomly generated SoCs
+// (TEST_P over seeds): the scheduler invariants must hold for *any*
+// valid input, not just the bundled evaluation systems.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/safety_checker.hpp"
+#include "core/session_model.hpp"
+#include "core/thermal_scheduler.hpp"
+#include "soc/synthetic.hpp"
+#include "thermal/analyzer.hpp"
+#include "thermal/steady_state.hpp"
+#include "util/rng.hpp"
+
+namespace thermo {
+namespace {
+
+core::SocSpec random_soc(std::uint64_t seed, std::size_t cores) {
+  Rng rng(seed);
+  soc::SyntheticOptions options;
+  options.core_count = cores;
+  // Keep densities moderate so solo tests stay below the TL used here.
+  options.power_density_min = 1e5;
+  options.power_density_max = 8e5;
+  return soc::make_synthetic_soc(rng, options);
+}
+
+class SchedulerInvariants
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::size_t>> {
+};
+
+TEST_P(SchedulerInvariants, CompleteSafeDeterministicAndAccounted) {
+  const auto [seed, cores] = GetParam();
+  const core::SocSpec soc = random_soc(seed, cores);
+  thermal::ThermalAnalyzer analyzer(soc.flp, soc.package);
+
+  core::ThermalSchedulerOptions options;
+  options.temperature_limit = 120.0;
+  options.stc_limit = 500.0;
+  options.solo_policy = core::SoloViolationPolicy::kRaiseLimit;
+  const core::ThermalAwareScheduler scheduler(options);
+  const core::ScheduleResult result = scheduler.generate(soc, analyzer);
+
+  // 1. Completeness: every core scheduled exactly once.
+  EXPECT_TRUE(result.schedule.is_complete(soc));
+  EXPECT_NO_THROW(result.schedule.require_well_formed(soc));
+
+  // 2. Safety: verified against the full simulator.
+  const double tl = scheduler.effective_temperature_limit();
+  const core::SafetyChecker checker(tl);
+  const core::SafetyReport report =
+      checker.check(soc, result.schedule, analyzer);
+  EXPECT_TRUE(report.safe) << "seed " << seed << ": "
+                           << report.to_string(soc);
+
+  // 3. Accounting: effort >= schedule length; committed sessions match.
+  EXPECT_GE(result.simulation_effort + 1e-12, result.schedule_length);
+  EXPECT_EQ(result.outcomes.size(), result.schedule.session_count());
+
+  // 4. Determinism.
+  const core::ScheduleResult again = scheduler.generate(soc, analyzer);
+  ASSERT_EQ(again.schedule.session_count(), result.schedule.session_count());
+  for (std::size_t s = 0; s < again.schedule.sessions.size(); ++s) {
+    EXPECT_EQ(again.schedule.sessions[s].cores,
+              result.schedule.sessions[s].cores);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomSocs, SchedulerInvariants,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u, 4u, 5u, 6u),
+                       ::testing::Values(4u, 8u, 14u)));
+
+class ThermalInvariants : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ThermalInvariants, SteadyStateBoundsAndMonotonicity) {
+  const core::SocSpec soc = random_soc(GetParam() + 100, 10);
+  const thermal::RCModel model(soc.flp, soc.package);
+
+  // Steady state bounds 1 s transient peaks (paper modification 1).
+  const auto power = soc.test_powers();
+  const auto steady = thermal::solve_steady_state(model, power);
+  const auto transient = thermal::simulate_transient(
+      model, power, 1.0, thermal::ambient_state(model));
+  for (std::size_t n = 0; n < model.node_count(); ++n) {
+    EXPECT_LE(transient.peak_temperature[n], steady.temperature[n] + 1e-6);
+  }
+
+  // Adding power to one core heats every node (or leaves it equal).
+  std::vector<double> more = power;
+  more[0] += 5.0;
+  const auto hotter = thermal::solve_steady_state(model, more);
+  for (std::size_t n = 0; n < model.node_count(); ++n) {
+    EXPECT_GE(hotter.rise[n] + 1e-12, steady.rise[n]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ThermalInvariants,
+                         ::testing::Range<std::uint64_t>(1, 7));
+
+class SessionModelInvariants : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(SessionModelInvariants, RthGrowsAsSessionsFill) {
+  // Adding any core to a session never *decreases* another member's
+  // equivalent resistance (paths to ground can only disappear).
+  const core::SocSpec soc = random_soc(GetParam() + 200, 9);
+  const core::SessionThermalModel model(soc.flp, soc.package, {});
+  Rng rng(GetParam());
+  std::vector<bool> active(soc.core_count(), false);
+  const std::size_t member = rng.uniform_index(soc.core_count());
+  active[member] = true;
+  double previous = model.equivalent_resistance(active, member);
+  for (std::size_t step = 0; step < soc.core_count(); ++step) {
+    const std::size_t next = rng.uniform_index(soc.core_count());
+    if (active[next]) continue;
+    active[next] = true;
+    const double rth = model.equivalent_resistance(active, member);
+    if (std::isinf(previous)) {
+      EXPECT_TRUE(std::isinf(rth));
+    } else {
+      EXPECT_GE(rth + 1e-15, previous);
+    }
+    previous = rth;
+  }
+}
+
+TEST_P(SessionModelInvariants, StcIsMonotoneUnderMembershipGrowth) {
+  const core::SocSpec soc = random_soc(GetParam() + 300, 8);
+  const core::SessionThermalModel model(soc.flp, soc.package, {});
+  const auto power = soc.test_powers();
+  const std::vector<double> weight(soc.core_count(), 1.0);
+  std::vector<bool> active(soc.core_count(), false);
+  double previous = 0.0;
+  for (std::size_t i = 0; i < soc.core_count(); ++i) {
+    active[i] = true;
+    const double stc = model.session_characteristic(active, power, weight);
+    EXPECT_GE(stc, previous - 1e-12);
+    previous = stc;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SessionModelInvariants,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace thermo

@@ -1,0 +1,59 @@
+// Shared fixtures and builders for the ThermoSched test suite.
+#pragma once
+
+#include <vector>
+
+#include "core/soc_spec.hpp"
+#include "floorplan/floorplan.hpp"
+#include "thermal/package.hpp"
+
+namespace thermo::testing {
+
+/// 2x2 grid of 1 mm blocks named a, b, c, d:
+///   c d     (c,d on top row)
+///   a b
+inline floorplan::Floorplan quad_floorplan() {
+  floorplan::Floorplan fp("quad");
+  fp.add_block({"a", 1e-3, 1e-3, 0.0, 0.0});
+  fp.add_block({"b", 1e-3, 1e-3, 1e-3, 0.0});
+  fp.add_block({"c", 1e-3, 1e-3, 0.0, 1e-3});
+  fp.add_block({"d", 1e-3, 1e-3, 1e-3, 1e-3});
+  return fp;
+}
+
+/// 3x3 grid of 2 mm blocks named b<r>_<c>; the centre block b1_1 has no
+/// chip-boundary exposure.
+inline floorplan::Floorplan nine_floorplan() {
+  floorplan::Floorplan fp("nine");
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      floorplan::Block block;
+      block.name = "b" + std::to_string(r) + "_" + std::to_string(c);
+      block.width = 2e-3;
+      block.height = 2e-3;
+      block.x = c * 2e-3;
+      block.y = r * 2e-3;
+      fp.add_block(std::move(block));
+    }
+  }
+  return fp;
+}
+
+/// A small SocSpec over the 3x3 grid with uniform power/length.
+inline core::SocSpec nine_soc(double power = 6.0, double length = 1.0) {
+  core::SocSpec soc;
+  soc.name = "nine-soc";
+  soc.flp = nine_floorplan();
+  soc.package = thermal::PackageParams{};
+  soc.tests.assign(soc.flp.size(), core::CoreTest{power, length});
+  return soc;
+}
+
+/// Index lookup that asserts the name exists.
+inline std::size_t idx(const floorplan::Floorplan& fp, const char* name) {
+  const auto i = fp.index_of(name);
+  if (!i) throw std::runtime_error(std::string("no block ") + name);
+  return *i;
+}
+
+}  // namespace thermo::testing

@@ -1,0 +1,107 @@
+#include "testaccess/test_structure.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace thermo::testaccess {
+namespace {
+
+TEST(TestCycles, MatchesClosedForm) {
+  // p=10, f=100, w=10: scan = 10 cycles; (1+10)*10 + 10 = 120.
+  const CoreTestStructure s{10, 100, 0.05};
+  EXPECT_EQ(test_cycles(s, 10), 120u);
+}
+
+TEST(TestCycles, CeilingDivision) {
+  // f=101, w=10 -> scan = 11; (1+11)*10 + 11 = 131.
+  const CoreTestStructure s{10, 101, 0.05};
+  EXPECT_EQ(test_cycles(s, 10), 131u);
+}
+
+TEST(TestCycles, MonotoneNonIncreasingInWidth) {
+  const CoreTestStructure s{50, 333, 0.05};
+  std::size_t previous = test_cycles(s, 1);
+  for (std::size_t w = 2; w <= 64; ++w) {
+    const std::size_t cycles = test_cycles(s, w);
+    EXPECT_LE(cycles, previous) << "width " << w;
+    previous = cycles;
+  }
+}
+
+TEST(TestCycles, SaturatesAtScanLength) {
+  const CoreTestStructure s{10, 32, 0.05};
+  EXPECT_EQ(test_cycles(s, 32), test_cycles(s, 64));
+}
+
+TEST(TestCycles, ValidatesInputs) {
+  const CoreTestStructure s{10, 100, 0.05};
+  EXPECT_THROW(test_cycles(s, 0), InvalidArgument);
+  EXPECT_THROW(test_cycles(CoreTestStructure{0, 100, 0.05}, 4),
+               InvalidArgument);
+  EXPECT_THROW(test_cycles(CoreTestStructure{10, 0, 0.05}, 4),
+               InvalidArgument);
+}
+
+TEST(TestLength, ScalesWithClock) {
+  const CoreTestStructure s{10, 100, 0.05};
+  EXPECT_DOUBLE_EQ(test_length_seconds(s, 10, 120.0), 1.0);
+  EXPECT_DOUBLE_EQ(test_length_seconds(s, 10, 240.0), 0.5);
+  EXPECT_THROW(test_length_seconds(s, 10, 0.0), InvalidArgument);
+}
+
+TEST(TestPower, GrowsThenSaturatesWithWidth) {
+  const CoreTestStructure s{10, 16, 0.5};
+  EXPECT_DOUBLE_EQ(test_power_watts(s, 1), 0.5);
+  EXPECT_DOUBLE_EQ(test_power_watts(s, 8), 4.0);
+  EXPECT_DOUBLE_EQ(test_power_watts(s, 16), 8.0);
+  EXPECT_DOUBLE_EQ(test_power_watts(s, 32), 8.0);  // saturated
+}
+
+TEST(WidthSweep, ExhibitsTimePowerTradeOff) {
+  const CoreTestStructure s{100, 512, 0.1};
+  const auto points = width_sweep(s, 32, 1e3);
+  ASSERT_EQ(points.size(), 32u);
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_LE(points[i].length_s, points[i - 1].length_s);
+    EXPECT_GE(points[i].power_w, points[i - 1].power_w);
+  }
+}
+
+TEST(MakeSoc, BuildsValidSocWithDerivedTests) {
+  const floorplan::Floorplan fp = thermo::testing::nine_floorplan();
+  std::vector<CoreTestStructure> structures(
+      9, CoreTestStructure{100, 256, 0.02});
+  const core::SocSpec soc = make_soc_from_structures(
+      fp, structures, 16, 1e6, thermal::PackageParams{});
+  EXPECT_EQ(soc.core_count(), 9u);
+  EXPECT_NO_THROW(soc.validate());
+  // cycles = (1+16)*100+16 = 1716 at 1 MHz -> 1.716 ms.
+  EXPECT_NEAR(soc.tests[0].length, 1716e-6, 1e-12);
+  EXPECT_DOUBLE_EQ(soc.tests[0].power, 0.02 * 16);
+  EXPECT_NE(soc.name.find("tam16"), std::string::npos);
+}
+
+TEST(MakeSoc, WiderTamShortensScheduleButRaisesPower) {
+  const floorplan::Floorplan fp = thermo::testing::nine_floorplan();
+  std::vector<CoreTestStructure> structures(
+      9, CoreTestStructure{200, 1024, 0.03});
+  const core::SocSpec narrow = make_soc_from_structures(
+      fp, structures, 4, 1e6, thermal::PackageParams{});
+  const core::SocSpec wide = make_soc_from_structures(
+      fp, structures, 64, 1e6, thermal::PackageParams{});
+  EXPECT_GT(narrow.tests[0].length, wide.tests[0].length);
+  EXPECT_LT(narrow.tests[0].power, wide.tests[0].power);
+}
+
+TEST(MakeSoc, ValidatesStructureCount) {
+  const floorplan::Floorplan fp = thermo::testing::nine_floorplan();
+  std::vector<CoreTestStructure> structures(3, CoreTestStructure{10, 10, 0.1});
+  EXPECT_THROW(make_soc_from_structures(fp, structures, 4, 1e6,
+                                        thermal::PackageParams{}),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace thermo::testaccess

@@ -1,0 +1,146 @@
+#include "thermal/grid_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "test_helpers.hpp"
+#include "thermal/rc_model.hpp"
+#include "thermal/steady_state.hpp"
+#include "util/error.hpp"
+
+namespace thermo::thermal {
+namespace {
+
+using thermo::testing::nine_floorplan;
+using thermo::testing::quad_floorplan;
+
+TEST(GridModel, CellAndNodeCounts) {
+  const GridThermalModel grid(quad_floorplan(), PackageParams{},
+                              GridOptions{8, 8});
+  EXPECT_EQ(grid.cell_count(), 64u);
+  EXPECT_EQ(grid.node_count(), 74u);
+  EXPECT_EQ(grid.rows(), 8u);
+  EXPECT_EQ(grid.cols(), 8u);
+}
+
+TEST(GridModel, RejectsTinyGridsAndBadInputs) {
+  EXPECT_THROW(
+      GridThermalModel(quad_floorplan(), PackageParams{}, GridOptions{1, 8}),
+      InvalidArgument);
+  floorplan::Floorplan bad("bad");
+  bad.add_block({"a", 2e-3, 2e-3, 0.0, 0.0});
+  bad.add_block({"b", 2e-3, 2e-3, 1e-3, 1e-3});
+  EXPECT_THROW(GridThermalModel(bad, PackageParams{}), InvalidArgument);
+}
+
+TEST(GridModel, CoverageIsCompleteForAlignedGrid) {
+  // 2x2 blocks on an 8x8 grid: each block covers 16 cells fully.
+  const floorplan::Floorplan fp = quad_floorplan();
+  const GridThermalModel grid(fp, PackageParams{}, GridOptions{8, 8});
+  double total = 0.0;
+  for (std::size_t r = 0; r < 8; ++r) {
+    for (std::size_t c = 0; c < 8; ++c) {
+      for (std::size_t b = 0; b < fp.size(); ++b) {
+        total += grid.coverage(b, r, c);
+      }
+    }
+  }
+  EXPECT_NEAR(total, 64.0, 1e-9);  // every cell covered exactly once
+  EXPECT_NEAR(grid.coverage(0, 0, 0), 1.0, 1e-12);  // block a, bottom-left
+  EXPECT_NEAR(grid.coverage(0, 7, 7), 0.0, 1e-12);
+}
+
+TEST(GridModel, PartialCoverageForMisalignedBlocks) {
+  floorplan::Floorplan fp("mis");
+  fp.add_block({"a", 1.5e-3, 2e-3, 0.0, 0.0});
+  fp.add_block({"b", 0.5e-3, 2e-3, 1.5e-3, 0.0});
+  const GridThermalModel grid(fp, PackageParams{}, GridOptions{2, 2});
+  // Cell width 1 mm: block a covers cell (0,1) half.
+  EXPECT_NEAR(grid.coverage(0, 0, 1), 0.5, 1e-9);
+  EXPECT_NEAR(grid.coverage(1, 0, 1), 0.5, 1e-9);
+}
+
+TEST(GridModel, ZeroPowerGivesAmbient) {
+  const GridThermalModel grid(quad_floorplan(), PackageParams{},
+                              GridOptions{8, 8});
+  const GridSteadyResult r = grid.solve({0.0, 0.0, 0.0, 0.0});
+  for (double t : r.cell_temperature) EXPECT_NEAR(t, 45.0, 1e-6);
+}
+
+TEST(GridModel, HeatedBlockIsHottestAndGradientExists) {
+  const floorplan::Floorplan fp = quad_floorplan();
+  const GridThermalModel grid(fp, PackageParams{}, GridOptions{16, 16});
+  const GridSteadyResult r = grid.solve({10.0, 0.0, 0.0, 0.0});
+  // Block a (bottom-left) is hottest.
+  std::size_t hottest = 0;
+  for (std::size_t b = 1; b < 4; ++b) {
+    if (r.block_max_temperature[b] > r.block_max_temperature[hottest]) {
+      hottest = b;
+    }
+  }
+  EXPECT_EQ(hottest, 0u);
+  // Intra-block gradient: max > mean within the heated block.
+  EXPECT_GT(r.block_max_temperature[0], r.block_mean_temperature[0]);
+}
+
+TEST(GridModel, AgreesWithBlockModelWithinDiscretisationError) {
+  // The two models share package physics; block temperatures should
+  // agree to within a few kelvin on a uniform workload.
+  const floorplan::Floorplan fp = nine_floorplan();
+  const PackageParams pkg;
+  const RCModel block_model(fp, pkg);
+  const GridThermalModel grid(fp, pkg, GridOptions{24, 24});
+  const std::vector<double> power(9, 3.0);
+  const SteadyStateResult block_result =
+      solve_steady_state(block_model, power);
+  const GridSteadyResult grid_result = grid.solve(power);
+  for (std::size_t b = 0; b < 9; ++b) {
+    EXPECT_NEAR(grid_result.block_mean_temperature[b],
+                block_result.temperature[b], 5.0)
+        << fp.block(b).name;
+  }
+}
+
+TEST(GridModel, RefinementConverges) {
+  // Doubling the grid changes block means by much less than the coarse
+  // discretisation error.
+  const floorplan::Floorplan fp = quad_floorplan();
+  const PackageParams pkg;
+  const std::vector<double> power{8.0, 0.0, 0.0, 2.0};
+  const GridSteadyResult coarse =
+      GridThermalModel(fp, pkg, GridOptions{8, 8}).solve(power);
+  const GridSteadyResult fine =
+      GridThermalModel(fp, pkg, GridOptions{16, 16}).solve(power);
+  const GridSteadyResult finer =
+      GridThermalModel(fp, pkg, GridOptions{32, 32}).solve(power);
+  for (std::size_t b = 0; b < 4; ++b) {
+    const double d1 =
+        std::fabs(fine.block_mean_temperature[b] -
+                  coarse.block_mean_temperature[b]);
+    const double d2 = std::fabs(finer.block_mean_temperature[b] -
+                                fine.block_mean_temperature[b]);
+    EXPECT_LE(d2, d1 + 0.1);
+  }
+}
+
+TEST(GridModel, LinearInPower) {
+  const GridThermalModel grid(quad_floorplan(), PackageParams{},
+                              GridOptions{8, 8});
+  const GridSteadyResult once = grid.solve({5.0, 0.0, 0.0, 0.0});
+  const GridSteadyResult twice = grid.solve({10.0, 0.0, 0.0, 0.0});
+  for (std::size_t cell = 0; cell < grid.cell_count(); ++cell) {
+    EXPECT_NEAR(twice.cell_temperature[cell] - 45.0,
+                2.0 * (once.cell_temperature[cell] - 45.0), 1e-5);
+  }
+}
+
+TEST(GridModel, SolveValidatesPowerVector) {
+  const GridThermalModel grid(quad_floorplan(), PackageParams{},
+                              GridOptions{4, 4});
+  EXPECT_THROW(grid.solve({1.0}), InvalidArgument);
+  EXPECT_THROW(grid.solve({1.0, -1.0, 0.0, 0.0}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace thermo::thermal

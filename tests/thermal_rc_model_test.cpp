@@ -1,0 +1,147 @@
+#include "thermal/rc_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace thermo::thermal {
+namespace {
+
+using thermo::testing::idx;
+using thermo::testing::nine_floorplan;
+using thermo::testing::quad_floorplan;
+
+TEST(Package, DefaultParamsValidate) {
+  EXPECT_NO_THROW(PackageParams{}.validate());
+}
+
+TEST(Package, RejectsNonPhysicalValues) {
+  PackageParams p;
+  p.t_die = 0.0;
+  EXPECT_THROW(p.validate(), InvalidArgument);
+  p = PackageParams{};
+  p.k_die = -1.0;
+  EXPECT_THROW(p.validate(), InvalidArgument);
+  p = PackageParams{};
+  p.r_convec = 0.0;
+  EXPECT_THROW(p.validate(), InvalidArgument);
+  p = PackageParams{};
+  p.sink_side = p.spreader_side / 2.0;
+  EXPECT_THROW(p.validate(), InvalidArgument);
+}
+
+TEST(RcModel, NodeCountIsBlocksPlusPackage) {
+  const RCModel model(quad_floorplan(), PackageParams{});
+  EXPECT_EQ(model.block_count(), 4u);
+  EXPECT_EQ(model.node_count(), 4u + RCModel::kPackageNodes);
+}
+
+TEST(RcModel, ConductanceMatrixIsSymmetric) {
+  const RCModel model(nine_floorplan(), PackageParams{});
+  EXPECT_TRUE(model.conductance().is_symmetric(1e-12));
+  EXPECT_TRUE(model.conductance_sparse().is_symmetric(1e-12));
+}
+
+TEST(RcModel, RowSumsEqualAmbientConductance) {
+  // Kirchhoff: sum of row r equals the conductance from node r to
+  // ambient (all internal couplings cancel).
+  const RCModel model(nine_floorplan(), PackageParams{});
+  const auto& g = model.conductance();
+  for (std::size_t r = 0; r < model.node_count(); ++r) {
+    double row_sum = 0.0;
+    for (std::size_t c = 0; c < model.node_count(); ++c) row_sum += g(r, c);
+    EXPECT_NEAR(row_sum, model.conductance_to_ambient(r), 1e-9)
+        << "node " << model.node_name(r);
+  }
+}
+
+TEST(RcModel, OnlySinkNodesTouchAmbient) {
+  const RCModel model(quad_floorplan(), PackageParams{});
+  for (std::size_t n = 0; n < model.node_count(); ++n) {
+    const bool is_sink = n >= model.sink_center_index();
+    if (is_sink) {
+      EXPECT_GT(model.conductance_to_ambient(n), 0.0);
+    } else {
+      EXPECT_DOUBLE_EQ(model.conductance_to_ambient(n), 0.0);
+    }
+  }
+}
+
+TEST(RcModel, AdjacentBlocksAreCoupled) {
+  const floorplan::Floorplan fp = quad_floorplan();
+  const RCModel model(fp, PackageParams{});
+  EXPECT_GT(model.conductance_between(idx(fp, "a"), idx(fp, "b")), 0.0);
+  EXPECT_DOUBLE_EQ(model.conductance_between(idx(fp, "a"), idx(fp, "d")), 0.0);
+}
+
+TEST(RcModel, EveryBlockHasVerticalPath) {
+  const RCModel model(nine_floorplan(), PackageParams{});
+  for (std::size_t b = 0; b < model.block_count(); ++b) {
+    EXPECT_GT(model.conductance_between(b, model.spreader_center_index()), 0.0);
+  }
+}
+
+TEST(RcModel, LargerBlockHasLargerVerticalConductance) {
+  floorplan::Floorplan fp("two");
+  fp.add_block({"small", 1e-3, 1e-3, 0.0, 0.0});
+  fp.add_block({"large", 4e-3, 1e-3, 1e-3, 0.0});
+  const RCModel model(fp, PackageParams{});
+  EXPECT_GT(model.conductance_between(1, model.spreader_center_index()),
+            model.conductance_between(0, model.spreader_center_index()));
+}
+
+TEST(RcModel, CapacitancesArePositiveAndScaleWithArea) {
+  floorplan::Floorplan fp("two");
+  fp.add_block({"small", 1e-3, 1e-3, 0.0, 0.0});
+  fp.add_block({"large", 4e-3, 1e-3, 1e-3, 0.0});
+  const RCModel model(fp, PackageParams{});
+  const auto& c = model.capacitance();
+  for (double v : c) EXPECT_GT(v, 0.0);
+  EXPECT_NEAR(c[1] / c[0], 4.0, 1e-9);
+}
+
+TEST(RcModel, NodeNamesAreDescriptive) {
+  const floorplan::Floorplan fp = quad_floorplan();
+  const RCModel model(fp, PackageParams{});
+  EXPECT_EQ(model.node_name(0), "block:a");
+  EXPECT_EQ(model.node_name(model.spreader_center_index()), "spreader_c");
+  EXPECT_EQ(model.node_name(model.sink_center_index()), "sink_c");
+  EXPECT_THROW(model.node_name(model.node_count()), InvalidArgument);
+}
+
+TEST(RcModel, ExpandPowerPlacesBlockPowerOnly) {
+  const RCModel model(quad_floorplan(), PackageParams{});
+  const auto power = model.expand_power({1.0, 2.0, 3.0, 4.0});
+  ASSERT_EQ(power.size(), model.node_count());
+  EXPECT_DOUBLE_EQ(power[2], 3.0);
+  for (std::size_t n = model.block_count(); n < model.node_count(); ++n) {
+    EXPECT_DOUBLE_EQ(power[n], 0.0);
+  }
+}
+
+TEST(RcModel, ExpandPowerValidatesInput) {
+  const RCModel model(quad_floorplan(), PackageParams{});
+  EXPECT_THROW(model.expand_power({1.0}), InvalidArgument);
+  EXPECT_THROW(model.expand_power({1.0, -2.0, 3.0, 4.0}), InvalidArgument);
+  EXPECT_THROW(model.expand_power({1.0, std::nan(""), 3.0, 4.0}),
+               InvalidArgument);
+}
+
+TEST(RcModel, RejectsInvalidFloorplan) {
+  floorplan::Floorplan fp("bad");
+  fp.add_block({"a", 2e-3, 2e-3, 0.0, 0.0});
+  fp.add_block({"b", 2e-3, 2e-3, 1e-3, 1e-3});  // overlaps a
+  EXPECT_THROW(RCModel(fp, PackageParams{}), InvalidArgument);
+}
+
+TEST(RcModel, RejectsInvalidPackage) {
+  PackageParams bad;
+  bad.k_tim = 0.0;
+  EXPECT_THROW(RCModel(quad_floorplan(), bad), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace thermo::thermal

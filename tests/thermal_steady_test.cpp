@@ -1,0 +1,141 @@
+#include "thermal/steady_state.hpp"
+
+#include <gtest/gtest.h>
+
+#include "linalg/vector_ops.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace thermo::thermal {
+namespace {
+
+using thermo::testing::nine_floorplan;
+using thermo::testing::quad_floorplan;
+
+class SteadyStateTest : public ::testing::Test {
+ protected:
+  floorplan::Floorplan fp_ = nine_floorplan();
+  PackageParams pkg_;
+  RCModel model_{fp_, pkg_};
+};
+
+TEST_F(SteadyStateTest, ZeroPowerGivesAmbientEverywhere) {
+  const SteadyStateResult r =
+      solve_steady_state(model_, std::vector<double>(9, 0.0));
+  for (double t : r.temperature) EXPECT_NEAR(t, pkg_.ambient, 1e-9);
+  for (double rise : r.rise) EXPECT_NEAR(rise, 0.0, 1e-9);
+}
+
+TEST_F(SteadyStateTest, PositivePowerHeatsEveryNode) {
+  std::vector<double> power(9, 0.0);
+  power[4] = 10.0;  // centre block
+  const SteadyStateResult r = solve_steady_state(model_, power);
+  for (double rise : r.rise) EXPECT_GT(rise, 0.0);
+}
+
+TEST_F(SteadyStateTest, HeatedBlockIsHottest) {
+  std::vector<double> power(9, 0.0);
+  power[4] = 10.0;
+  const SteadyStateResult r = solve_steady_state(model_, power);
+  const double max_block = max_block_temperature(model_, r);
+  EXPECT_DOUBLE_EQ(max_block, r.temperature[4]);
+}
+
+TEST_F(SteadyStateTest, LinearityInPower) {
+  std::vector<double> power(9, 0.0);
+  power[2] = 5.0;
+  const SteadyStateResult once = solve_steady_state(model_, power);
+  power[2] = 10.0;
+  const SteadyStateResult twice = solve_steady_state(model_, power);
+  for (std::size_t n = 0; n < once.rise.size(); ++n) {
+    EXPECT_NEAR(twice.rise[n], 2.0 * once.rise[n], 1e-8);
+  }
+}
+
+TEST_F(SteadyStateTest, SuperpositionOfSources) {
+  std::vector<double> pa(9, 0.0), pb(9, 0.0), pab(9, 0.0);
+  pa[0] = 7.0;
+  pb[8] = 3.0;
+  pab[0] = 7.0;
+  pab[8] = 3.0;
+  const auto ra = solve_steady_state(model_, pa);
+  const auto rb = solve_steady_state(model_, pb);
+  const auto rab = solve_steady_state(model_, pab);
+  for (std::size_t n = 0; n < rab.rise.size(); ++n) {
+    EXPECT_NEAR(rab.rise[n], ra.rise[n] + rb.rise[n], 1e-8);
+  }
+}
+
+TEST_F(SteadyStateTest, Reciprocity) {
+  // For a symmetric conductance network, the rise at j from power at i
+  // equals the rise at i from the same power at j.
+  std::vector<double> pa(9, 0.0), pb(9, 0.0);
+  pa[0] = 10.0;
+  pb[7] = 10.0;
+  const auto ra = solve_steady_state(model_, pa);
+  const auto rb = solve_steady_state(model_, pb);
+  EXPECT_NEAR(ra.rise[7], rb.rise[0], 1e-8);
+}
+
+TEST_F(SteadyStateTest, MonotoneInPower) {
+  std::vector<double> low(9, 1.0), high(9, 1.0);
+  high[4] = 2.0;
+  const auto rl = solve_steady_state(model_, low);
+  const auto rh = solve_steady_state(model_, high);
+  for (std::size_t n = 0; n < rl.rise.size(); ++n) {
+    EXPECT_GE(rh.rise[n], rl.rise[n] - 1e-12);
+  }
+}
+
+TEST_F(SteadyStateTest, SmallerBlockRunsHotterAtSamePower) {
+  floorplan::Floorplan fp("two");
+  fp.add_block({"small", 1e-3, 1e-3, 0.0, 0.0});
+  fp.add_block({"pad", 3e-3, 1e-3, 1e-3, 0.0});
+  fp.add_block({"large", 4e-3, 3e-3, 0.0, 1e-3});
+  const RCModel model(fp, pkg_);
+  const auto r_small = solve_steady_state(model, {10.0, 0.0, 0.0});
+  const auto r_large = solve_steady_state(model, {0.0, 0.0, 10.0});
+  EXPECT_GT(r_small.rise[0], r_large.rise[2]);
+}
+
+TEST_F(SteadyStateTest, AllSolversAgree) {
+  std::vector<double> power(9, 0.0);
+  power[1] = 4.0;
+  power[6] = 8.0;
+  const auto chol = solve_steady_state(model_, power, SteadySolver::kCholesky);
+  const auto lu = solve_steady_state(model_, power, SteadySolver::kLu);
+  const auto cg =
+      solve_steady_state(model_, power, SteadySolver::kConjugateGradient);
+  EXPECT_LT(linalg::norm_inf(linalg::subtract(chol.rise, lu.rise)), 1e-8);
+  EXPECT_LT(linalg::norm_inf(linalg::subtract(chol.rise, cg.rise)), 1e-6);
+}
+
+TEST_F(SteadyStateTest, ResidualIsSmall) {
+  std::vector<double> power(9, 2.0);
+  const auto r = solve_steady_state(model_, power);
+  const auto full_power = model_.expand_power(power);
+  const auto residual = linalg::subtract(
+      full_power, model_.conductance().multiply(r.rise));
+  EXPECT_LT(linalg::norm_inf(residual), 1e-8);
+}
+
+TEST_F(SteadyStateTest, DissipatedHeatMatchesInjectedPower) {
+  // In steady state, all injected watts leave through the sink nodes.
+  std::vector<double> power(9, 0.0);
+  power[3] = 12.0;
+  const auto r = solve_steady_state(model_, power);
+  double outflow = 0.0;
+  for (std::size_t n = 0; n < model_.node_count(); ++n) {
+    outflow += model_.conductance_to_ambient(n) * r.rise[n];
+  }
+  EXPECT_NEAR(outflow, 12.0, 1e-8);
+}
+
+TEST_F(SteadyStateTest, MaxBlockTemperatureValidatesResult) {
+  SteadyStateResult bogus;
+  bogus.temperature = {1.0};
+  EXPECT_THROW(max_block_temperature(model_, bogus), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace thermo::thermal

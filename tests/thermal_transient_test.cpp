@@ -1,0 +1,145 @@
+#include "thermal/transient.hpp"
+
+#include <gtest/gtest.h>
+
+#include "linalg/vector_ops.hpp"
+#include "test_helpers.hpp"
+#include "thermal/steady_state.hpp"
+#include "util/error.hpp"
+
+namespace thermo::thermal {
+namespace {
+
+using thermo::testing::quad_floorplan;
+
+class TransientTest : public ::testing::Test {
+ protected:
+  floorplan::Floorplan fp_ = quad_floorplan();
+  PackageParams pkg_;
+  RCModel model_{fp_, pkg_};
+  std::vector<double> power_{8.0, 0.0, 0.0, 2.0};
+};
+
+TEST_F(TransientTest, ZeroDurationReturnsInitialState) {
+  const auto initial = ambient_state(model_);
+  const TransientResult r =
+      simulate_transient(model_, power_, 0.0, initial);
+  EXPECT_EQ(r.steps, 0u);
+  EXPECT_EQ(r.final_temperature, initial);
+  EXPECT_EQ(r.peak_temperature, initial);
+}
+
+TEST_F(TransientTest, TemperaturesRiseMonotonicallyFromAmbient) {
+  std::vector<double> previous_max(model_.node_count(), 0.0);
+  TransientOptions options;
+  options.dt = 1e-3;
+  double last = pkg_.ambient;
+  options.observer = [&](double, const std::vector<double>& temps) {
+    EXPECT_GE(temps[0] + 1e-9, last);
+    last = temps[0];
+  };
+  simulate_transient(model_, power_, 0.05, ambient_state(model_), options);
+  EXPECT_GT(last, pkg_.ambient);
+}
+
+TEST_F(TransientTest, ConvergesToSteadyState) {
+  // Long horizon: final transient temps must match the steady solve.
+  TransientOptions options;
+  options.dt = 0.05;
+  const TransientResult tr =
+      simulate_transient(model_, power_, 400.0, ambient_state(model_), options);
+  const SteadyStateResult ss = solve_steady_state(model_, power_);
+  for (std::size_t n = 0; n < model_.node_count(); ++n) {
+    EXPECT_NEAR(tr.final_temperature[n], ss.temperature[n], 0.05)
+        << model_.node_name(n);
+  }
+}
+
+TEST_F(TransientTest, SteadyStateBoundsTransientPeaks) {
+  // The paper's modelling assumption (Section 2, modification 1):
+  // steady-state temperatures are upper bounds for transient profiles.
+  const TransientResult tr =
+      simulate_transient(model_, power_, 1.0, ambient_state(model_));
+  const SteadyStateResult ss = solve_steady_state(model_, power_);
+  for (std::size_t n = 0; n < model_.node_count(); ++n) {
+    EXPECT_LE(tr.peak_temperature[n], ss.temperature[n] + 1e-6);
+  }
+}
+
+TEST_F(TransientTest, PeakTracksMaximumNotFinal) {
+  // Start *hot*: peak must be the initial state even as the chip cools.
+  std::vector<double> hot(model_.node_count(), pkg_.ambient + 50.0);
+  const TransientResult r = simulate_transient(
+      model_, std::vector<double>(4, 0.0), 0.5, hot);
+  for (std::size_t n = 0; n < model_.node_count(); ++n) {
+    EXPECT_NEAR(r.peak_temperature[n], pkg_.ambient + 50.0, 1e-9);
+    EXPECT_LT(r.final_temperature[n], pkg_.ambient + 50.0);
+  }
+}
+
+TEST_F(TransientTest, LongerSessionRunsHotter) {
+  const auto initial = ambient_state(model_);
+  const TransientResult short_run =
+      simulate_transient(model_, power_, 0.1, initial);
+  const TransientResult long_run =
+      simulate_transient(model_, power_, 2.0, initial);
+  EXPECT_GT(max_block_peak(model_, long_run),
+            max_block_peak(model_, short_run));
+}
+
+TEST_F(TransientTest, Rk4AgreesWithBackwardEulerOnShortHorizon) {
+  TransientOptions be;
+  be.dt = 1e-4;
+  TransientOptions rk4;
+  rk4.dt = 1e-5;  // explicit needs a small step for the stiff die nodes
+  rk4.integrator = TransientIntegrator::kRk4;
+  const auto initial = ambient_state(model_);
+  const TransientResult a = simulate_transient(model_, power_, 0.02, initial, be);
+  const TransientResult b = simulate_transient(model_, power_, 0.02, initial, rk4);
+  for (std::size_t n = 0; n < model_.block_count(); ++n) {
+    // BE is first order: expect sub-kelvin, not bit-exact, agreement.
+    EXPECT_NEAR(a.final_temperature[n], b.final_temperature[n], 0.3);
+  }
+}
+
+TEST_F(TransientTest, FractionalFinalStepLandsOnHorizon) {
+  TransientOptions options;
+  options.dt = 0.3;  // 1.0 s is not a multiple
+  const TransientResult r =
+      simulate_transient(model_, power_, 1.0, ambient_state(model_), options);
+  EXPECT_EQ(r.steps, 4u);  // 0.3 + 0.3 + 0.3 + 0.1
+  // Must agree with a run using an exact divisor within BE step error.
+  TransientOptions exact;
+  exact.dt = 0.25;
+  const TransientResult r2 =
+      simulate_transient(model_, power_, 1.0, ambient_state(model_), exact);
+  EXPECT_NEAR(r.final_temperature[0], r2.final_temperature[0], 0.5);
+}
+
+TEST_F(TransientTest, ValidatesArguments) {
+  const auto initial = ambient_state(model_);
+  EXPECT_THROW(simulate_transient(model_, power_, -1.0, initial),
+               InvalidArgument);
+  EXPECT_THROW(
+      simulate_transient(model_, power_, 1.0, std::vector<double>(2, 45.0)),
+      InvalidArgument);
+  TransientOptions bad;
+  bad.dt = 0.0;
+  EXPECT_THROW(simulate_transient(model_, power_, 1.0, initial, bad),
+               InvalidArgument);
+  EXPECT_THROW(simulate_transient(model_, {1.0}, 1.0, initial),
+               InvalidArgument);
+}
+
+TEST_F(TransientTest, MaxBlockPeakIgnoresPackageNodes) {
+  const TransientResult r =
+      simulate_transient(model_, power_, 0.5, ambient_state(model_));
+  double expected = 0.0;
+  for (std::size_t b = 0; b < model_.block_count(); ++b) {
+    expected = std::max(expected, r.peak_temperature[b]);
+  }
+  EXPECT_DOUBLE_EQ(max_block_peak(model_, r), expected);
+}
+
+}  // namespace
+}  // namespace thermo::thermal
