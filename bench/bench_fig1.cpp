@@ -8,7 +8,8 @@
 // We report the same artefacts on our reconstruction of the example:
 // both sessions pass the power check, and TS1 runs far hotter than TS2
 // because its cores have 4x the power density. Absolute temperatures
-// depend on the package (see DESIGN.md section 3); the shape - a large
+// depend on the package (see docs/ARCHITECTURE.md, "Deviations
+// from the paper"); the shape - a large
 // gap at identical session power - is the reproduced result.
 #include <iostream>
 

@@ -12,7 +12,7 @@
 //  * max temperature approaches TL for short schedules, and stays far
 //    below TL when STCL (not TL) is the binding constraint.
 // Absolute values differ from the paper (different floorplan/package,
-// see DESIGN.md section 3).
+// see docs/ARCHITECTURE.md, "Deviations from the paper").
 #include <iostream>
 
 #include "core/thermal_scheduler.hpp"

@@ -1,0 +1,22 @@
+# Smoke-test driver: run a binary and require (a) exit code 0 and (b) non-empty
+# stdout. CTest's PASS_REGULAR_EXPRESSION ignores the exit code, so a plain
+# add_test() cannot express both conditions — this script can.
+#
+# Usage: cmake -DSMOKE_BIN=<path> [-DSMOKE_ARGS="a;b;c"] -P RunSmokeTest.cmake
+if(NOT SMOKE_BIN)
+  message(FATAL_ERROR "SMOKE_BIN not set")
+endif()
+execute_process(
+  COMMAND "${SMOKE_BIN}" ${SMOKE_ARGS}
+  OUTPUT_VARIABLE smoke_out
+  ERROR_VARIABLE smoke_err
+  RESULT_VARIABLE smoke_rc)
+if(NOT smoke_rc EQUAL 0)
+  message(FATAL_ERROR "${SMOKE_BIN} exited with ${smoke_rc}\nstdout:\n${smoke_out}\nstderr:\n${smoke_err}")
+endif()
+string(STRIP "${smoke_out}" smoke_stripped)
+if(smoke_stripped STREQUAL "")
+  message(FATAL_ERROR "${SMOKE_BIN} exited 0 but printed nothing to stdout")
+endif()
+string(LENGTH "${smoke_out}" smoke_len)
+message(STATUS "smoke OK: ${SMOKE_BIN} printed ${smoke_len} bytes")

@@ -1,4 +1,8 @@
-// Common result type returned by all schedulers.
+// Common result type returned by all schedulers, carrying the paper's
+// two quality metrics side by side: *schedule length* (sum of session
+// lengths — test application time) and *simulation effort* (total
+// simulated seconds spent in the RC oracle, including discarded
+// sessions — the cost Algorithm 1 is designed to minimise).
 #pragma once
 
 #include <cstddef>

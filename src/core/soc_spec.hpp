@@ -1,6 +1,11 @@
 // System-under-test description: a floorplan whose blocks are testable
 // cores, each with a test power and a test length, plus the thermal
-// package. This is the input to every scheduler.
+// package. This is the input to every scheduler — the paper's "SoC with
+// N cores" plus exactly the data its thermal model needs (core
+// geometry/adjacency for Rth, per-core test power for TC and STC).
+// Test power is the *average* power during test, typically several
+// times functional power — the reason test scheduling needs thermal
+// awareness at all.
 #pragma once
 
 #include <string>

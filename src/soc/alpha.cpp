@@ -65,7 +65,8 @@ core::SocSpec alpha_soc_scaled(double power_scale) {
     core::CoreTest test;
     test.power = unit.functional_power * unit.test_factor *
                  kTestPowerCalibration * power_scale;
-    test.length = 1.0;  // uniform 1 s tests; see DESIGN.md §3
+    test.length = 1.0;  // uniform 1 s tests; see docs/ARCHITECTURE.md,
+                        // "Deviations from the paper"
     soc.tests.push_back(test);
   }
   soc.package = thermal::PackageParams{};

@@ -1,7 +1,8 @@
 // The evaluation SoC of the paper: a 15-core system modelled on the
 // Compaq Alpha 21364 floorplan shipped with HotSpot.
 //
-// Substitution note (see DESIGN.md §3): the authors used the exact
+// Substitution note (see docs/ARCHITECTURE.md, "Deviations from the
+// paper"): the authors used the exact
 // HotSpot floorplan file; we reconstruct a 16 mm x 16 mm die with the
 // same character — two large L2 banks, mid-sized memory/network
 // blocks, and a cluster of small, hot CPU-core units — which is what

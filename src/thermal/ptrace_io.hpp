@@ -1,5 +1,7 @@
 // HotSpot .ptrace power-trace format: a header line of unit names
-// followed by one line of power values [W] per time step.
+// followed by one line of power values [W] per time step. Interop with
+// the tool the paper's authors used: lets externally produced traces
+// drive our RC model (and vice versa) for cross-validation.
 #pragma once
 
 #include <iosfwd>

@@ -1,5 +1,12 @@
 // Steady-state thermal analysis: solve G * dT = P for the temperature
 // rise over ambient.
+//
+// Steady state is the worst case for a test session that runs long
+// enough (temperatures only rise towards it), and it is the regime the
+// paper's session thermal model assumes (Section 2, modification 1:
+// drop the capacitances). The scheduler's validation step uses these
+// solvers through ThermalAnalyzer; transient.hpp covers the
+// time-resolved counterpart.
 #pragma once
 
 #include <vector>

@@ -1,5 +1,10 @@
 // Transient thermal simulation:  C dT/dt = P - G (T - T_amb).
 //
+// This is the expensive full-RC simulation of Algorithm 1's validation
+// step — what the paper drove HotSpot for, and what the cheap session
+// thermal model exists to avoid calling more often than necessary.
+// Every simulated second here is charged to "simulation effort".
+//
 // The system is stiff (die time constants are milliseconds, the heat
 // sink's are tens of seconds), so the default integrator is backward
 // Euler with a factored system matrix; RK4 is available for

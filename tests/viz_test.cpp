@@ -26,7 +26,9 @@ TEST(AsciiHeatmap, DimensionsAndOrientation) {
 TEST(AsciiHeatmap, UniformFieldUsesLowestRampChar) {
   const std::string out = ascii_heatmap({2.0, 2.0, 2.0, 2.0}, 2, 2);
   for (char c : out) {
-    if (c != '\n') EXPECT_EQ(c, ' ');
+    if (c != '\n') {
+      EXPECT_EQ(c, ' ');
+    }
   }
 }
 
