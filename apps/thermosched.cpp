@@ -3,18 +3,27 @@
 //   thermosched schedule [--flp chip.flp --density 1e6 | --alpha]
 //                        [--tl 155] [--stcl 50] [--csv]
 //   thermosched simulate --cores Icache,Dcache [--flp ... --density ...]
+//   thermosched sweep    [--alpha] [--tl 155] [--stcl-min 20]
+//                        [--stcl-max 100] [--step 10] [--threads 0] [--csv]
 //   thermosched info     [--flp chip.flp | --alpha]
 //
 // `schedule` runs Algorithm 1 and prints the thermal-safe schedule;
 // `simulate` runs one session through the RC oracle and prints per-core
-// peaks plus an ASCII thermal map; `info` prints floorplan statistics
-// (areas, adjacency, boundary exposure, power densities).
+// peaks plus an ASCII thermal map; `sweep` runs Algorithm 1 once per
+// STCL value in the given range, fanned across a thread pool that
+// shares the model's cached factorizations (src/sweep); `info` prints
+// floorplan statistics (areas, adjacency, boundary exposure, power
+// densities).
+#include <algorithm>
 #include <iostream>
+#include <memory>
 
+#include "core/stcl_sweep.hpp"
 #include "core/thermal_scheduler.hpp"
 #include "floorplan/flp_io.hpp"
 #include "soc/alpha.hpp"
 #include "thermal/analyzer.hpp"
+#include "thermal/solver_cache.hpp"
 #include "util/cli.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
@@ -34,6 +43,11 @@ struct CommonArgs {
   double stc_scale = 0.0;  // 0 = auto
   std::string cores;
   bool csv = false;
+  // sweep-only knobs
+  double stcl_min = 20.0;
+  double stcl_max = 100.0;
+  double step = 10.0;
+  long long threads = 0;  // 0 = hardware concurrency
 };
 
 core::SocSpec build_soc(const CommonArgs& args) {
@@ -115,6 +129,54 @@ int cmd_simulate(const CommonArgs& args) {
   return 0;
 }
 
+int cmd_sweep(const CommonArgs& args) {
+  const std::vector<double> stcls =
+      core::stcl_range(args.stcl_min, args.stcl_max, args.step);
+  const core::SocSpec soc = build_soc(args);
+  // One shared model: every per-STCL analyzer keys the same cached
+  // factorizations, so the RC network is factored once for the whole
+  // sweep no matter how many threads run.
+  const auto model =
+      std::make_shared<const thermal::RCModel>(soc.flp, soc.package);
+
+  core::StclSweepConfig config;
+  config.threads = static_cast<std::size_t>(std::max(0LL, args.threads));
+  config.scheduler.temperature_limit = args.tl;
+  config.scheduler.model.stc_scale = stc_scale_for(args);
+  config.scheduler.solo_policy = core::SoloViolationPolicy::kRaiseLimit;
+  const std::vector<core::StclSweepPoint> points =
+      core::sweep_stcl(soc, model, stcls, config);
+
+  Table table({"STCL", "length [s]", "effort [s]", "sessions", "max temp [C]",
+               "discards"});
+  for (const core::StclSweepPoint& point : points) {
+    table.add_row({format_double(point.stcl, 0),
+                   format_double(point.schedule_length, 1),
+                   format_double(point.simulation_effort, 1),
+                   std::to_string(point.sessions),
+                   format_double(point.max_temperature, 2),
+                   std::to_string(point.discarded_sessions)});
+  }
+  if (args.csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  // Under kRaiseLimit the scheduler may enforce a higher TL than asked
+  // for; report it like cmd_schedule does or the table rows would
+  // appear to violate the printed limit.
+  double effective_tl = args.tl;
+  for (const core::StclSweepPoint& point : points) {
+    effective_tl = std::max(effective_tl, point.effective_temperature_limit);
+  }
+  const auto stats = thermal::ThermalSolverCache::instance().stats();
+  std::cout << "TL = " << args.tl << " C (effective "
+            << format_double(effective_tl, 2) << " C), " << stcls.size()
+            << " STCL values; solver cache: " << stats.misses
+            << " factorizations, " << stats.hits << " cached solves\n";
+  return 0;
+}
+
 int cmd_info(const CommonArgs& args) {
   const core::SocSpec soc = build_soc(args);
   std::cout << "SoC '" << soc.name << "': " << soc.core_count()
@@ -140,7 +202,7 @@ int cmd_info(const CommonArgs& args) {
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::cerr << "usage: thermosched <schedule|simulate|info> [options]\n"
+    std::cerr << "usage: thermosched <schedule|simulate|sweep|info> [options]\n"
                  "       thermosched <command> --help\n";
     return 1;
   }
@@ -158,12 +220,18 @@ int main(int argc, char** argv) {
   cli.add_double("stc-scale", "STC normalisation (0 = auto)", &args.stc_scale);
   cli.add_string("cores", "Comma-separated cores (simulate)", &args.cores);
   cli.add_flag("csv", "CSV output", &args.csv);
+  cli.add_double("stcl-min", "Smallest STCL (sweep)", &args.stcl_min);
+  cli.add_double("stcl-max", "Largest STCL (sweep)", &args.stcl_max);
+  cli.add_double("step", "STCL increment (sweep)", &args.step);
+  cli.add_int("threads", "Worker threads, 0 = all cores (sweep)",
+              &args.threads);
 
   try {
     if (!cli.parse(argc - 1, argv + 1)) return 0;
     args.alpha = alpha_flag;
     if (command == "schedule") return cmd_schedule(args);
     if (command == "simulate") return cmd_simulate(args);
+    if (command == "sweep") return cmd_sweep(args);
     if (command == "info") return cmd_info(args);
     std::cerr << "unknown command '" << command << "'\n";
     return 1;

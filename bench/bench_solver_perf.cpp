@@ -1,21 +1,48 @@
-// Performance benchmarks (google-benchmark): the substrate costs behind
-// the paper's "rapid generation" claim.
+// Performance benchmarks: the substrate costs behind the paper's
+// "rapid generation" claim.
 //
-//  * steady-state solvers (Cholesky / LU / CG) across floorplan sizes;
-//  * transient backward-Euler session simulation across floorplan sizes;
-//  * STC evaluation (the paper's guide metric) vs a full session
-//    simulation on the Alpha-like SoC: the gap is the simulation time
-//    Algorithm 1 saves per considered candidate;
-//  * end-to-end Algorithm 1 on the Alpha SoC.
-#include <benchmark/benchmark.h>
+// Two modes:
+//
+//  * `--quick [--json PATH]` — self-timed (std::chrono) measurement of
+//    the factor cache and the scenario sweep, emitting the
+//    machine-readable `BENCH_solver.json` perf-trajectory point:
+//    per-size cold-vs-cached steady solves, cold-vs-cached transient
+//    sessions, and sweep throughput with a 1-vs-N determinism check.
+//    This mode has NO dependency on Google Benchmark, so CI can always
+//    produce a trajectory artifact (see .github/workflows/ci.yml and
+//    README "Reading BENCH_solver.json").
+//
+//  * default — the Google Benchmark micro-suite (only when the package
+//    was found at configure time; otherwise the binary tells you to use
+//    --quick):
+//     - steady-state solvers (cold Cholesky / cached Cholesky / LU / CG)
+//       across floorplan sizes;
+//     - transient backward-Euler session simulation across sizes;
+//     - STC evaluation (the paper's guide metric) vs a full session
+//       simulation on the Alpha-like SoC: the gap is the simulation
+//       time Algorithm 1 saves per considered candidate;
+//     - end-to-end Algorithm 1 on the Alpha SoC.
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
 
 #include "core/session_model.hpp"
 #include "core/thermal_scheduler.hpp"
 #include "floorplan/generator.hpp"
+#include "linalg/cholesky.hpp"
 #include "soc/alpha.hpp"
+#include "sweep/scenario_sweep.hpp"
 #include "thermal/analyzer.hpp"
+#include "thermal/solver_cache.hpp"
 #include "thermal/steady_state.hpp"
 #include "thermal/transient.hpp"
+
+#ifdef THERMO_HAVE_BENCHMARK
+#include <benchmark/benchmark.h>
+#endif
 
 using namespace thermo;
 
@@ -33,6 +60,265 @@ std::vector<double> grid_power(std::size_t blocks) {
   return power;
 }
 
+// ---------------------------------------------------------------------------
+// --quick mode: chrono-timed, benchmark-free, JSON-emitting.
+// ---------------------------------------------------------------------------
+
+/// Seconds per call of `fn`, measured over enough repetitions to
+/// accumulate `min_time` seconds of work (at most `max_reps`).
+template <typename Fn>
+double seconds_per_call(Fn&& fn, double min_time = 0.05,
+                        std::size_t max_reps = 1000) {
+  using clock = std::chrono::steady_clock;
+  std::size_t reps = 0;
+  const auto start = clock::now();
+  double elapsed = 0.0;
+  while (reps < max_reps && elapsed < min_time) {
+    fn();
+    ++reps;
+    elapsed = std::chrono::duration<double>(clock::now() - start).count();
+  }
+  return elapsed / static_cast<double>(reps);
+}
+
+struct SteadyPoint {
+  std::size_t side = 0, blocks = 0, nodes = 0;
+  double cold_s = 0.0, cached_s = 0.0;
+  double speedup() const { return cached_s > 0.0 ? cold_s / cached_s : 0.0; }
+};
+
+SteadyPoint measure_steady(std::size_t side) {
+  const thermal::RCModel model = make_grid_model(side);
+  const auto block_power = grid_power(model.block_count());
+  const std::vector<double> power = model.expand_power(block_power);
+
+  SteadyPoint point;
+  point.side = side;
+  point.blocks = model.block_count();
+  point.nodes = model.node_count();
+
+  // Cold: what every solve paid before the cache — factor + solve.
+  point.cold_s = seconds_per_call([&] {
+    const linalg::CholeskyFactor factor(model.conductance());
+    volatile double sink = factor.solve(power)[0];
+    (void)sink;
+  });
+
+  // Cached: the steady-state entry point, factor already in the cache
+  // (primed by the first call).
+  thermal::solve_steady_state(model, block_power);
+  point.cached_s = seconds_per_call([&] {
+    volatile double sink =
+        thermal::solve_steady_state(model, block_power).rise[0];
+    (void)sink;
+  });
+  return point;
+}
+
+struct TransientPoint {
+  std::size_t side = 0, nodes = 0;
+  double duration = 0.0, dt = 0.0;
+  double cold_s = 0.0, cached_s = 0.0;
+  double speedup() const { return cached_s > 0.0 ? cold_s / cached_s : 0.0; }
+};
+
+TransientPoint measure_transient(std::size_t side) {
+  const thermal::RCModel model = make_grid_model(side);
+  const auto power = grid_power(model.block_count());
+  const auto initial = thermal::ambient_state(model);
+  thermal::TransientOptions topt;
+  topt.dt = 1e-3;
+
+  TransientPoint point;
+  point.side = side;
+  point.nodes = model.node_count();
+  // 50 full steps plus a fractional remainder — the representative case
+  // (real test lengths are rarely exact dt multiples), so the cached
+  // path also exercises the remainder-stepper slot.
+  point.duration = 0.0505;
+  point.dt = topt.dt;
+
+  // Cold: every session factors (C/dt + G) afresh.
+  point.cold_s = seconds_per_call(
+      [&] {
+        thermal::ThermalSolverCache::instance().invalidate(model);
+        thermal::simulate_transient(model, power, point.duration, initial,
+                                    topt);
+      },
+      0.05, 200);
+
+  // Cached: the stepper factor is reused across sessions.
+  thermal::simulate_transient(model, power, point.duration, initial, topt);
+  point.cached_s = seconds_per_call(
+      [&] {
+        thermal::simulate_transient(model, power, point.duration, initial,
+                                    topt);
+      },
+      0.05, 200);
+  return point;
+}
+
+struct SweepPoint {
+  std::size_t scenarios = 0, nodes = 0, threads = 0;
+  double serial_s = 0.0, parallel_s = 0.0;
+  bool deterministic = false;
+  double scenarios_per_s() const {
+    return parallel_s > 0.0 ? static_cast<double>(scenarios) / parallel_s : 0.0;
+  }
+};
+
+SweepPoint measure_sweep(std::size_t side, std::size_t scenario_count) {
+  const thermal::RCModel model = make_grid_model(side);
+  std::vector<sweep::PowerScenario> scenarios(scenario_count);
+  for (std::size_t i = 0; i < scenario_count; ++i) {
+    scenarios[i].name = "s" + std::to_string(i);
+    scenarios[i].block_power.assign(model.block_count(), 0.0);
+    // Vary the active set per scenario, as a schedule exploration would.
+    for (std::size_t b = i % 3; b < model.block_count(); b += 2 + i % 4) {
+      scenarios[i].block_power[b] = 3.0 + 0.5 * static_cast<double>(i % 5);
+    }
+  }
+
+  sweep::SweepOptions serial_options;
+  serial_options.threads = 1;
+  const sweep::ScenarioSweep serial(serial_options);
+  const sweep::ScenarioSweep parallel{};  // hardware concurrency
+
+  SweepPoint point;
+  point.scenarios = scenario_count;
+  point.nodes = model.node_count();
+  point.threads = parallel.thread_count();
+
+  // Warm the factor cache before timing either run: the comparison is
+  // serial-vs-parallel back-substitution throughput, and the one-time
+  // factorization would otherwise be charged only to the serial run.
+  thermal::ThermalSolverCache::instance().cholesky(model);
+
+  using clock = std::chrono::steady_clock;
+  const auto t0 = clock::now();
+  const auto serial_outcomes = serial.run(model, scenarios);
+  const auto t1 = clock::now();
+  const auto parallel_outcomes = parallel.run(model, scenarios);
+  const auto t2 = clock::now();
+  point.serial_s = std::chrono::duration<double>(t1 - t0).count();
+  point.parallel_s = std::chrono::duration<double>(t2 - t1).count();
+
+  // Deterministic = the two runs produced EQUAL outcomes (including any
+  // identically-failing scenario) — a shared failure is not
+  // nondeterminism, a diverging one is.
+  point.deterministic = serial_outcomes.size() == parallel_outcomes.size();
+  for (std::size_t i = 0; point.deterministic && i < serial_outcomes.size();
+       ++i) {
+    const sweep::ScenarioOutcome& s = serial_outcomes[i];
+    const sweep::ScenarioOutcome& p = parallel_outcomes[i];
+    point.deterministic =
+        s.ok == p.ok && s.error == p.error && s.block_peak == p.block_peak;
+  }
+  return point;
+}
+
+void write_json(const std::string& path, const std::vector<SteadyPoint>& steady,
+                const std::vector<TransientPoint>& transient,
+                const SweepPoint& sweep_point) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot write " + path);
+  }
+  out.precision(6);
+  out << "{\n";
+  out << "  \"schema\": \"thermo.bench_solver.v1\",\n";
+  out << "  \"bench\": \"bench_solver_perf\",\n";
+  out << "  \"mode\": \"quick\",\n";
+  out << "  \"steady\": [\n";
+  for (std::size_t i = 0; i < steady.size(); ++i) {
+    const SteadyPoint& p = steady[i];
+    out << "    {\"side\": " << p.side << ", \"blocks\": " << p.blocks
+        << ", \"nodes\": " << p.nodes << ", \"cold_solve_s\": " << p.cold_s
+        << ", \"cached_solve_s\": " << p.cached_s
+        << ", \"speedup\": " << p.speedup() << "}"
+        << (i + 1 < steady.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+  out << "  \"transient\": [\n";
+  for (std::size_t i = 0; i < transient.size(); ++i) {
+    const TransientPoint& p = transient[i];
+    out << "    {\"side\": " << p.side << ", \"nodes\": " << p.nodes
+        << ", \"duration_s\": " << p.duration << ", \"dt_s\": " << p.dt
+        << ", \"cold_session_s\": " << p.cold_s
+        << ", \"cached_session_s\": " << p.cached_s
+        << ", \"speedup\": " << p.speedup() << "}"
+        << (i + 1 < transient.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+  out << "  \"sweep\": {\"scenarios\": " << sweep_point.scenarios
+      << ", \"nodes\": " << sweep_point.nodes
+      << ", \"threads\": " << sweep_point.threads
+      << ", \"serial_s\": " << sweep_point.serial_s
+      << ", \"parallel_s\": " << sweep_point.parallel_s
+      << ", \"scenarios_per_s\": " << sweep_point.scenarios_per_s()
+      << ", \"deterministic\": "
+      << (sweep_point.deterministic ? "true" : "false") << "}\n";
+  out << "}\n";
+}
+
+int run_quick(const std::string& json_path) {
+  std::cout << "bench_solver_perf --quick (factor cache + sweep)\n";
+
+  std::vector<SteadyPoint> steady;
+  for (std::size_t side : {8u, 16u, 24u}) {  // 74 / 266 / 586 nodes
+    steady.push_back(measure_steady(side));
+    const SteadyPoint& p = steady.back();
+    std::cout << "steady  " << p.nodes << " nodes: cold " << p.cold_s
+              << " s, cached " << p.cached_s << " s, speedup " << p.speedup()
+              << "x\n";
+  }
+
+  std::vector<TransientPoint> transient;
+  for (std::size_t side : {8u, 16u}) {
+    transient.push_back(measure_transient(side));
+    const TransientPoint& p = transient.back();
+    std::cout << "transient " << p.nodes << " nodes, " << p.duration
+              << " s session: cold " << p.cold_s << " s, cached " << p.cached_s
+              << " s, speedup " << p.speedup() << "x\n";
+  }
+
+  const SweepPoint sweep_point = measure_sweep(16, 64);
+  std::cout << "sweep   " << sweep_point.scenarios << " scenarios on "
+            << sweep_point.nodes << " nodes: serial " << sweep_point.serial_s
+            << " s, " << sweep_point.threads << " threads "
+            << sweep_point.parallel_s << " s, "
+            << sweep_point.scenarios_per_s() << " scenarios/s, deterministic "
+            << (sweep_point.deterministic ? "yes" : "NO") << "\n";
+
+  write_json(json_path, steady, transient, sweep_point);
+  std::cout << "wrote " << json_path << "\n";
+  return 0;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Google Benchmark micro-suite (optional dependency).
+// ---------------------------------------------------------------------------
+
+#ifdef THERMO_HAVE_BENCHMARK
+namespace {
+
+// The cold path: factor + solve per call, what solve_steady_state cost
+// before the factor cache.
+void BM_SteadyCholeskyCold(benchmark::State& state) {
+  const auto side = static_cast<std::size_t>(state.range(0));
+  const thermal::RCModel model = make_grid_model(side);
+  const auto power = model.expand_power(grid_power(model.block_count()));
+  for (auto _ : state) {
+    const linalg::CholeskyFactor factor(model.conductance());
+    benchmark::DoNotOptimize(factor.solve(power));
+  }
+  state.SetLabel(std::to_string(model.block_count()) + " blocks");
+}
+BENCHMARK(BM_SteadyCholeskyCold)->Arg(2)->Arg(4)->Arg(8)->Arg(12)->Arg(16);
+
+// The cached path (the entry point the scheduler uses).
 void BM_SteadyCholesky(benchmark::State& state) {
   const auto side = static_cast<std::size_t>(state.range(0));
   const thermal::RCModel model = make_grid_model(side);
@@ -83,6 +369,26 @@ void BM_TransientSession(benchmark::State& state) {
 }
 BENCHMARK(BM_TransientSession)->Arg(2)->Arg(4)->Arg(8);
 
+void BM_ScenarioSweep(benchmark::State& state) {
+  const thermal::RCModel model = make_grid_model(12);
+  std::vector<sweep::PowerScenario> scenarios(64);
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    scenarios[i].block_power.assign(model.block_count(), 0.0);
+    for (std::size_t b = i % 3; b < model.block_count(); b += 2 + i % 4) {
+      scenarios[i].block_power[b] = 3.0;
+    }
+  }
+  sweep::SweepOptions options;
+  options.threads = static_cast<std::size_t>(state.range(0));
+  const sweep::ScenarioSweep sweeper(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sweeper.run(model, scenarios));
+  }
+  state.SetLabel("64 scenarios, " + std::to_string(state.range(0)) +
+                 " threads");
+}
+BENCHMARK(BM_ScenarioSweep)->Arg(1)->Arg(2)->Arg(4);
+
 void BM_StcEvaluation(benchmark::State& state) {
   const core::SocSpec soc = soc::alpha_soc();
   core::SessionModelOptions options;
@@ -127,5 +433,48 @@ void BM_Algorithm1EndToEnd(benchmark::State& state) {
 BENCHMARK(BM_Algorithm1EndToEnd)->Arg(20)->Arg(60)->Arg(100);
 
 }  // namespace
+#endif  // THERMO_HAVE_BENCHMARK
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string json_path = "BENCH_solver.json";
+  std::vector<char*> passthrough;
+  passthrough.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+
+  if (quick) {
+    try {
+      return run_quick(json_path);
+    } catch (const std::exception& e) {
+      std::cerr << "bench_solver_perf: " << e.what() << "\n";
+      return 1;
+    }
+  }
+
+#ifdef THERMO_HAVE_BENCHMARK
+  int pass_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&pass_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(pass_argc, passthrough.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+#else
+  std::cerr << "bench_solver_perf: built without Google Benchmark; the\n"
+               "micro-suite is unavailable. Run with --quick [--json PATH]\n"
+               "for the self-timed JSON measurement instead.\n";
+  return 2;
+#endif
+}

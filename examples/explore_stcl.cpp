@@ -5,12 +5,20 @@
 // For a fixed TL, sweeps STCL and prints schedule length, simulation
 // effort and max temperature, so a test engineer can pick the knee.
 //
-//   ./explore_stcl [--tl 155] [--stcl-min 20] [--stcl-max 100] [--step 10] [--csv]
+// The STCL values are independent, so core::sweep_stcl fans them across
+// a thread pool: every per-STCL scheduler run gets its own
+// ThermalAnalyzer (effort accounting is not thread-safe) but all of
+// them share one RCModel, whose factorizations are computed once
+// through the solver cache and back-substituted by every thread. The
+// `thermosched sweep` subcommand is the CLI twin of this example.
+//
+//   ./explore_stcl [--tl 155] [--stcl-min 20] [--stcl-max 100] [--step 10]
+//                  [--threads 0] [--csv]
 #include <iostream>
+#include <memory>
 
-#include "core/thermal_scheduler.hpp"
+#include "core/stcl_sweep.hpp"
 #include "soc/alpha.hpp"
-#include "thermal/analyzer.hpp"
 #include "util/cli.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
@@ -21,41 +29,50 @@ int main(int argc, char** argv) {
 
   double tl = 155.0;
   double stcl_min = 20.0, stcl_max = 100.0, step = 10.0;
+  long long threads = 0;
   bool csv = false;
   CliParser cli("explore_stcl", "Sweep STCL and report the trade-off");
   cli.add_double("tl", "Temperature limit TL [deg C]", &tl);
   cli.add_double("stcl-min", "Smallest STCL", &stcl_min);
   cli.add_double("stcl-max", "Largest STCL", &stcl_max);
   cli.add_double("step", "STCL increment", &step);
+  cli.add_int("threads", "Worker threads, 0 = all cores", &threads);
   cli.add_flag("csv", "Emit CSV instead of an aligned table", &csv);
+  std::vector<double> stcls;
   try {
     if (!cli.parse(argc, argv)) return 0;
-    if (step <= 0.0 || stcl_max < stcl_min) {
-      throw InvalidArgument("need step > 0 and stcl-max >= stcl-min");
-    }
+    stcls = core::stcl_range(stcl_min, stcl_max, step);
   } catch (const Error& e) {
     std::cerr << e.what() << '\n' << cli.usage();
     return 1;
   }
 
   const core::SocSpec soc = soc::alpha_soc();
-  thermal::ThermalAnalyzer analyzer(soc.flp, soc.package);
+  const auto model =
+      std::make_shared<const thermal::RCModel>(soc.flp, soc.package);
+
+  core::StclSweepConfig config;
+  config.threads = threads > 0 ? static_cast<std::size_t>(threads) : 0;
+  config.scheduler.temperature_limit = tl;
+  config.scheduler.model.stc_scale = soc::alpha_stc_scale();
+  std::vector<core::StclSweepPoint> points;
+  try {
+    points = core::sweep_stcl(soc, model, stcls, config);
+  } catch (const Error& e) {
+    // E.g. a TL no solo core can meet (solo_policy defaults to kThrow).
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
 
   Table table({"STCL", "length [s]", "effort [s]", "sessions", "max temp [C]",
                "discards"});
-  for (double stcl = stcl_min; stcl <= stcl_max + 1e-9; stcl += step) {
-    core::ThermalSchedulerOptions options;
-    options.temperature_limit = tl;
-    options.stc_limit = stcl;
-    options.model.stc_scale = soc::alpha_stc_scale();
-    const core::ThermalAwareScheduler scheduler(options);
-    const core::ScheduleResult result = scheduler.generate(soc, analyzer);
-    table.add_row({format_double(stcl, 0),
-                   format_double(result.schedule_length, 1),
-                   format_double(result.simulation_effort, 1),
-                   std::to_string(result.schedule.session_count()),
-                   format_double(result.max_temperature, 2),
-                   std::to_string(result.discarded_sessions)});
+  for (const core::StclSweepPoint& point : points) {
+    table.add_row({format_double(point.stcl, 0),
+                   format_double(point.schedule_length, 1),
+                   format_double(point.simulation_effort, 1),
+                   std::to_string(point.sessions),
+                   format_double(point.max_temperature, 2),
+                   std::to_string(point.discarded_sessions)});
   }
   std::cout << "TL = " << tl << " C\n";
   if (csv) {

@@ -6,11 +6,18 @@
 // full trade-off, connecting the paper's scheduler to the classic
 // test-access literature it builds on (Iyengar & Chakrabarty).
 //
-//   ./tam_exploration [--tl 150] [--stcl 300] [--max-width 64]
+// Every TAM width shares the same floorplan and package, i.e. the same
+// RC network — so the widths are fanned across a sweep::ScenarioSweep
+// thread pool with one shared RCModel, and the expensive factorizations
+// are computed once for the whole exploration (solver cache).
+//
+//   ./tam_exploration [--tl 150] [--stcl 300] [--max-width 64] [--threads 0]
 #include <iostream>
+#include <memory>
 
 #include "core/thermal_scheduler.hpp"
 #include "soc/alpha.hpp"
+#include "sweep/scenario_sweep.hpp"
 #include "testaccess/test_structure.hpp"
 #include "thermal/analyzer.hpp"
 #include "util/cli.hpp"
@@ -24,12 +31,14 @@ int main(int argc, char** argv) {
   double tl = 150.0;
   double stcl = 300.0;
   long long max_width = 64;
+  long long threads = 0;
   CliParser cli("tam_exploration",
                 "Sweep TAM width; schedule the derived test sets thermally");
   cli.add_double("tl", "Temperature limit [deg C]", &tl);
   cli.add_double("stcl", "Session thermal characteristic limit", &stcl);
   cli.add_int("max-width", "Largest TAM width to try (power-of-two sweep)",
               &max_width);
+  cli.add_int("threads", "Worker threads, 0 = all cores", &threads);
   try {
     if (!cli.parse(argc, argv)) return 0;
   } catch (const Error& e) {
@@ -53,36 +62,65 @@ int main(int argc, char** argv) {
   }
   const double clock_hz = 5e4;  // slow scan clock -> second-scale tests
 
-  Table table({"TAM width", "longest test [s]", "total test time [s]",
-               "hottest core power [W]", "sessions", "schedule length [s]",
-               "max temp [C]"});
+  std::vector<long long> widths;
   for (long long width = 4; width <= max_width; width *= 2) {
+    widths.push_back(width);
+  }
+
+  // All widths share the floorplan and package, hence the RC network.
+  const auto model =
+      std::make_shared<const thermal::RCModel>(base.flp, base.package);
+
+  sweep::SweepOptions sweep_options;
+  sweep_options.threads = threads > 0 ? static_cast<std::size_t>(threads) : 0;
+  const sweep::ScenarioSweep sweeper(sweep_options);
+
+  struct Row {
+    long long width = 0;
+    double longest = 0.0;
+    double total = 0.0;
+    double max_power = 0.0;
+    std::size_t sessions = 0;
+    double length = 0.0;
+    double max_temperature = 0.0;
+  };
+  const std::vector<Row> rows = sweeper.map(widths.size(), [&](std::size_t i) {
     const core::SocSpec soc = testaccess::make_soc_from_structures(
-        base.flp, structures, static_cast<std::size_t>(width), clock_hz,
+        base.flp, structures, static_cast<std::size_t>(widths[i]), clock_hz,
         base.package);
 
-    double longest = 0.0, total = 0.0, max_power = 0.0;
+    Row row;
+    row.width = widths[i];
     for (const auto& test : soc.tests) {
-      longest = std::max(longest, test.length);
-      total += test.length;
-      max_power = std::max(max_power, test.power);
+      row.longest = std::max(row.longest, test.length);
+      row.total += test.length;
+      row.max_power = std::max(row.max_power, test.power);
     }
 
-    thermal::ThermalAnalyzer analyzer(soc.flp, soc.package);
+    thermal::ThermalAnalyzer analyzer(model);
     core::ThermalSchedulerOptions options;
     options.temperature_limit = tl;
     options.stc_limit = stcl;
     options.solo_policy = core::SoloViolationPolicy::kRaiseLimit;
     const core::ScheduleResult result =
         core::ThermalAwareScheduler(options).generate(soc, analyzer);
+    row.sessions = result.schedule.session_count();
+    row.length = result.schedule_length;
+    row.max_temperature = result.max_temperature;
+    return row;
+  });
 
-    table.add_row({std::to_string(width), format_double(longest, 2),
-                   format_double(total, 2), format_double(max_power, 1),
-                   std::to_string(result.schedule.session_count()),
-                   format_double(result.schedule_length, 2),
-                   format_double(result.max_temperature, 1)});
+  Table table({"TAM width", "longest test [s]", "total test time [s]",
+               "hottest core power [W]", "sessions", "schedule length [s]",
+               "max temp [C]"});
+  for (const Row& row : rows) {
+    table.add_row({std::to_string(row.width), format_double(row.longest, 2),
+                   format_double(row.total, 2), format_double(row.max_power, 1),
+                   std::to_string(row.sessions), format_double(row.length, 2),
+                   format_double(row.max_temperature, 1)});
   }
-  std::cout << "TL = " << tl << " C, STCL = " << stcl << "\n";
+  std::cout << "TL = " << tl << " C, STCL = " << stcl << " ("
+            << sweeper.thread_count() << " threads)\n";
   table.print(std::cout);
   std::cout << "\nnote: beyond the thermal knee, widening the TAM stops "
                "helping - tests get\nshorter but hotter, and the scheduler "

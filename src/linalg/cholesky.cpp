@@ -47,6 +47,18 @@ Vector CholeskyDecomposition::solve(const Vector& b) const {
   return y;
 }
 
+DenseMatrix CholeskyDecomposition::solve(const DenseMatrix& b) const {
+  THERMO_REQUIRE(b.rows() == size(), "Cholesky solve: rhs row mismatch");
+  DenseMatrix x(b.rows(), b.cols());
+  Vector column(b.rows());
+  for (std::size_t c = 0; c < b.cols(); ++c) {
+    for (std::size_t r = 0; r < b.rows(); ++r) column[r] = b(r, c);
+    const Vector solved = solve(column);
+    for (std::size_t r = 0; r < b.rows(); ++r) x(r, c) = solved[r];
+  }
+  return x;
+}
+
 Vector cholesky_solve(const DenseMatrix& a, const Vector& b) {
   return CholeskyDecomposition(a).solve(b);
 }

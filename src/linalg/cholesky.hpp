@@ -1,7 +1,20 @@
 // Cholesky factorization for symmetric positive-definite systems.
-// Thermal conductance matrices (after grounding) are SPD, so this is the
-// default steady-state solver: half the work of LU and a built-in
-// sanity check (a non-SPD conductance matrix indicates a model bug).
+//
+// Thermal conductance matrices (after grounding the ambient node) are
+// SPD, so this is the default steady-state solver: half the flops of LU
+// and a built-in sanity check (a non-SPD conductance matrix indicates a
+// model bug, e.g. a negative stamped conductance).
+//
+// Preconditions and cost (see docs/SOLVERS.md for the selection guide):
+//  * the input must be symmetric positive definite. Symmetry is NOT
+//    verified (only the lower triangle is read); positive definiteness
+//    is detected during factorization and reported as NumericalError.
+//  * factorization is n^3/3 flops; each subsequent solve is two
+//    triangular substitutions, 2 n^2 flops. When the matrix is reused
+//    across many right-hand sides — the paper's Algorithm 1 evaluates
+//    thousands of candidate sessions against one fixed G — keep the
+//    CholeskyFactor (or let thermal::ThermalSolverCache do it) and call
+//    solve() per rhs instead of the one-shot cholesky_solve().
 #pragma once
 
 #include "linalg/dense_matrix.hpp"
@@ -11,13 +24,16 @@ namespace thermo::linalg {
 class CholeskyDecomposition {
  public:
   /// Factors A = L Lᵗ. Throws NumericalError when A is not (numerically)
-  /// positive definite.
+  /// positive definite. Only the lower triangle of A is read.
   explicit CholeskyDecomposition(const DenseMatrix& a);
 
   std::size_t size() const { return l_.rows(); }
 
-  /// Solves A x = b.
+  /// Solves A x = b (two triangular substitutions; reusable, thread-safe).
   Vector solve(const Vector& b) const;
+
+  /// Multi-RHS overload: solves A X = B column-by-column.
+  DenseMatrix solve(const DenseMatrix& b) const;
 
   /// Lower-triangular factor.
   const DenseMatrix& l() const { return l_; }
@@ -26,7 +42,11 @@ class CholeskyDecomposition {
   DenseMatrix l_;
 };
 
-/// One-shot convenience: solve SPD system A x = b.
+/// "Factor once, solve many" is the intended usage; the alias names it.
+using CholeskyFactor = CholeskyDecomposition;
+
+/// One-shot convenience: solve SPD system A x = b (factors every call —
+/// prefer a CholeskyFactor when the matrix is fixed across calls).
 Vector cholesky_solve(const DenseMatrix& a, const Vector& b);
 
 }  // namespace thermo::linalg

@@ -1,4 +1,11 @@
 // Iterative solvers for sparse SPD / diagonally dominant systems.
+//
+// These are the large-floorplan escape hatch: past a few thousand nodes
+// the O(n^3) dense factorizations stop paying off and the O(nnz) per
+// iteration of CG wins (docs/SOLVERS.md quantifies the crossover).
+// Unlike the factor objects in cholesky.hpp/lu.hpp there is nothing to
+// cache — every solve restarts from scratch — so the thermal layer's
+// ThermalSolverCache does not apply to this path.
 #pragma once
 
 #include <cstddef>
@@ -9,7 +16,11 @@
 namespace thermo::linalg {
 
 struct IterativeOptions {
-  double tolerance = 1e-10;      ///< relative residual target ||r||/||b||
+  /// Convergence is declared when the RELATIVE residual ||b - A x|| / ||b||
+  /// (Euclidean norms) drops to `tolerance` or below; a zero rhs converges
+  /// immediately to x = 0. This is a residual bound, not an error bound:
+  /// the error in x can exceed it by the condition number of A.
+  double tolerance = 1e-10;
   std::size_t max_iterations = 10000;
 };
 
@@ -21,12 +32,15 @@ struct IterativeResult {
 };
 
 /// Conjugate gradients with Jacobi (diagonal) preconditioning.
-/// Requires a symmetric positive-definite matrix.
+/// Requires a symmetric positive-definite matrix (not verified; CG on an
+/// indefinite matrix typically stalls or diverges and reports
+/// converged = false). Grounded thermal conductance matrices qualify.
 IterativeResult conjugate_gradient(const SparseMatrix& a, const Vector& b,
                                    const IterativeOptions& options = {});
 
 /// Gauss-Seidel sweeps; converges for diagonally dominant systems
-/// (thermal conductance matrices qualify).
+/// (thermal conductance matrices qualify: each row's diagonal carries
+/// the sum of its off-diagonals plus any conductance to ambient).
 IterativeResult gauss_seidel(const SparseMatrix& a, const Vector& b,
                              const IterativeOptions& options = {});
 

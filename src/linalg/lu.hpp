@@ -1,5 +1,23 @@
-// LU decomposition with partial pivoting. Used to factor the transient
-// thermal system matrix once per step size and back-substitute per step.
+// LU decomposition with partial pivoting.
+//
+// The general-purpose dense factorization: used to factor the transient
+// backward-Euler system matrix (C/dt + G) once per step size and
+// back-substitute per step, and as a cross-check for the Cholesky path
+// (docs/SOLVERS.md compares the three solvers).
+//
+// Preconditions and behaviour:
+//  * any square, non-singular matrix is accepted — no symmetry or
+//    definiteness requirement. Numerical singularity (pivot magnitude
+//    below 1e-300 after row exchange) throws NumericalError.
+//  * pivoting is partial (row exchanges only): each column's pivot is
+//    the largest-magnitude entry on or below the diagonal. This bounds
+//    the multipliers by 1 and is stable for the diagonally dominant
+//    matrices the thermal stack produces; no column pivoting is done,
+//    so pathological growth is theoretically possible on arbitrary
+//    input.
+//  * factorization is 2 n^3/3 flops (twice Cholesky); each solve() is
+//    2 n^2. Reuse the factor across right-hand sides — that is what
+//    LinearImplicitStepper and thermal::ThermalSolverCache do.
 #pragma once
 
 #include "linalg/dense_matrix.hpp"
@@ -14,7 +32,7 @@ class LuDecomposition {
 
   std::size_t size() const { return lu_.rows(); }
 
-  /// Solves A x = b.
+  /// Solves A x = b (reusable, thread-safe).
   Vector solve(const Vector& b) const;
 
   /// Solves A X = B column-by-column.
@@ -32,7 +50,11 @@ class LuDecomposition {
   int permutation_sign_ = 1;
 };
 
-/// One-shot convenience: solve A x = b.
+/// "Factor once, solve many" is the intended usage; the alias names it.
+using LuFactor = LuDecomposition;
+
+/// One-shot convenience: solve A x = b (factors every call — prefer an
+/// LuFactor when the matrix is fixed across calls).
 Vector lu_solve(const DenseMatrix& a, const Vector& b);
 
 }  // namespace thermo::linalg

@@ -7,7 +7,9 @@
 //    thermal system  C dT/dt = p - G (T - T_amb), which is stiff: die
 //    nodes have millisecond time constants while the heat sink has
 //    second-scale ones. The BE system matrix (C/dt + G) is factored once
-//    per step size and reused.
+//    per step size and reused; step() is const and thread-safe, so one
+//    stepper can serve many concurrent transient simulations (that is
+//    how thermal::ThermalSolverCache shares it — see docs/SOLVERS.md).
 #pragma once
 
 #include <functional>

@@ -1,0 +1,60 @@
+// Minimal fixed-size thread pool for the sweep layer.
+//
+// Workers are spawned in the constructor and joined in the destructor;
+// submit() enqueues a task, wait_idle() blocks until the queue is empty
+// AND every worker has finished its current task. Exceptions escaping a
+// task are captured — the first one is rethrown from wait_idle() on the
+// submitting thread, so a sweep never dies silently inside a worker.
+//
+// This is deliberately a pool, not std::async: ScenarioSweep reuses the
+// same workers for every scenario of a run, and the pool's size is the
+// sweep's concurrency knob (SweepOptions::threads).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace thermo::sweep {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 picks std::thread::hardware_concurrency
+  /// (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Joins all workers. Pending tasks are still drained first; call
+  /// wait_idle() before destruction when you need their exceptions.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task. Never blocks (unbounded queue).
+  void submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have completed, then rethrows the
+  /// first captured task exception, if any.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable wake_workers_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t running_ = 0;
+  bool stopping_ = false;
+  std::exception_ptr first_error_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace thermo::sweep

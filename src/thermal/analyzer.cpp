@@ -12,7 +12,15 @@ ThermalAnalyzer::ThermalAnalyzer(const floorplan::Floorplan& fp,
 
 ThermalAnalyzer::ThermalAnalyzer(const floorplan::Floorplan& fp,
                                  const PackageParams& package, Options options)
-    : model_(fp, package), options_(options) {
+    : ThermalAnalyzer(std::make_shared<const RCModel>(fp, package), options) {}
+
+ThermalAnalyzer::ThermalAnalyzer(std::shared_ptr<const RCModel> model)
+    : ThermalAnalyzer(std::move(model), Options{}) {}
+
+ThermalAnalyzer::ThermalAnalyzer(std::shared_ptr<const RCModel> model,
+                                 Options options)
+    : model_(std::move(model)), options_(options) {
+  THERMO_REQUIRE(model_ != nullptr, "analyzer requires a model");
   THERMO_REQUIRE(options_.dt > 0.0, "analyzer dt must be positive");
 }
 
@@ -27,11 +35,11 @@ SessionSimulation ThermalAnalyzer::simulate_session(
     TransientOptions topt;
     topt.dt = options_.dt;
     const TransientResult result = simulate_transient(
-        model_, block_power, duration, ambient_state(model_), topt);
+        *model_, block_power, duration, ambient_state(*model_), topt);
     out.peak_temperature.assign(
         result.peak_temperature.begin(),
         result.peak_temperature.begin() +
-            static_cast<std::ptrdiff_t>(model_.block_count()));
+            static_cast<std::ptrdiff_t>(model_->block_count()));
   } else {
     out.peak_temperature = steady_block_temperatures(block_power);
   }
@@ -49,11 +57,11 @@ SessionSimulation ThermalAnalyzer::simulate_session(
 
 std::vector<double> ThermalAnalyzer::steady_block_temperatures(
     const std::vector<double>& block_power) const {
-  const SteadyStateResult result = solve_steady_state(model_, block_power);
+  const SteadyStateResult result = solve_steady_state(*model_, block_power);
   return std::vector<double>(
       result.temperature.begin(),
       result.temperature.begin() +
-          static_cast<std::ptrdiff_t>(model_.block_count()));
+          static_cast<std::ptrdiff_t>(model_->block_count()));
 }
 
 ThermalAnalyzer::Chained ThermalAnalyzer::simulate_session_from(
@@ -66,7 +74,7 @@ ThermalAnalyzer::Chained ThermalAnalyzer::simulate_session_from(
   TransientOptions topt;
   topt.dt = options_.dt;
   const TransientResult result =
-      simulate_transient(model_, block_power, duration, initial_state, topt);
+      simulate_transient(*model_, block_power, duration, initial_state, topt);
 
   Chained out;
   out.final_state = result.final_temperature;
@@ -74,7 +82,7 @@ ThermalAnalyzer::Chained ThermalAnalyzer::simulate_session_from(
   out.session.peak_temperature.assign(
       result.peak_temperature.begin(),
       result.peak_temperature.begin() +
-          static_cast<std::ptrdiff_t>(model_.block_count()));
+          static_cast<std::ptrdiff_t>(model_->block_count()));
   const auto hottest = std::max_element(out.session.peak_temperature.begin(),
                                         out.session.peak_temperature.end());
   out.session.max_temperature = *hottest;
@@ -87,7 +95,7 @@ ThermalAnalyzer::Chained ThermalAnalyzer::simulate_session_from(
 }
 
 std::vector<double> ThermalAnalyzer::ambient_node_state() const {
-  return ambient_state(model_);
+  return ambient_state(*model_);
 }
 
 std::vector<double> ThermalAnalyzer::cool_down(
@@ -97,7 +105,7 @@ std::vector<double> ThermalAnalyzer::cool_down(
   TransientOptions topt;
   topt.dt = options_.dt;
   const TransientResult result = simulate_transient(
-      model_, std::vector<double>(model_.block_count(), 0.0), gap, state,
+      *model_, std::vector<double>(model_->block_count(), 0.0), gap, state,
       topt);
   return result.final_temperature;
 }

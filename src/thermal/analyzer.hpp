@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "thermal/rc_model.hpp"
@@ -40,7 +41,17 @@ class ThermalAnalyzer {
   ThermalAnalyzer(const floorplan::Floorplan& fp, const PackageParams& package,
                   Options options);
 
-  const RCModel& model() const { return model_; }
+  /// Shares an existing model instead of building a private one. Because
+  /// cached factorizations are keyed by RCModel::identity(), analyzers
+  /// sharing one model also share its factors — this is how a
+  /// sweep::ScenarioSweep gives every worker thread its own effort
+  /// accounting (analyzers are not thread-safe) while the expensive
+  /// factorizations are computed once. Throws InvalidArgument on null.
+  explicit ThermalAnalyzer(std::shared_ptr<const RCModel> model);
+  ThermalAnalyzer(std::shared_ptr<const RCModel> model, Options options);
+
+  const RCModel& model() const { return *model_; }
+  const std::shared_ptr<const RCModel>& shared_model() const { return model_; }
   const Options& options() const { return options_; }
 
   /// Simulates a session: `block_power[i]` watts in every block for
@@ -87,7 +98,7 @@ class ThermalAnalyzer {
   void reset_effort();
 
  private:
-  RCModel model_;
+  std::shared_ptr<const RCModel> model_;
   Options options_;
   double simulation_effort_ = 0.0;
   std::size_t simulation_count_ = 0;

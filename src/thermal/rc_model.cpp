@@ -1,5 +1,6 @@
 #include "thermal/rc_model.hpp"
 
+#include <atomic>
 #include <cmath>
 
 #include "util/error.hpp"
@@ -8,8 +9,13 @@ namespace thermo::thermal {
 
 namespace fp = thermo::floorplan;
 
+std::uint64_t RCModel::next_identity() {
+  static std::atomic<std::uint64_t> counter{0};
+  return ++counter;
+}
+
 RCModel::RCModel(const fp::Floorplan& floorplan, const PackageParams& package)
-    : floorplan_(floorplan), package_(package) {
+    : floorplan_(floorplan), package_(package), identity_(next_identity()) {
   package_.validate();
   floorplan_.require_valid();
   block_count_ = floorplan_.size();

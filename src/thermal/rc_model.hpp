@@ -29,6 +29,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -56,6 +57,14 @@ class RCModel {
 
   const floorplan::Floorplan& floorplan() const { return floorplan_; }
   const PackageParams& package() const { return package_; }
+
+  /// Process-unique identity of the network, assigned at construction.
+  /// An RCModel is immutable after construction, so the identity keys
+  /// the cached matrix factorizations (ThermalSolverCache): same
+  /// identity ⇒ same G and C, always. Copies share the identity (they
+  /// hold identical matrices); every freshly *constructed* model gets a
+  /// new one, which is what invalidates stale cache entries.
+  std::uint64_t identity() const { return identity_; }
 
   /// Symmetric positive-definite conductance matrix G [W/K] over all
   /// nodes, ambient eliminated (to-ambient conductance on the diagonal).
@@ -85,8 +94,11 @@ class RCModel {
   void stamp(std::size_t a, std::size_t b, double conductance);
   void stamp_to_ambient(std::size_t node, double conductance);
 
+  static std::uint64_t next_identity();
+
   floorplan::Floorplan floorplan_;
   PackageParams package_;
+  std::uint64_t identity_ = 0;
   std::size_t block_count_ = 0;
   linalg::DenseMatrix conductance_;
   linalg::SparseMatrix sparse_;

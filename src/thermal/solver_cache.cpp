@@ -1,0 +1,128 @@
+#include "thermal/solver_cache.hpp"
+
+#include <cstring>
+#include <tuple>
+
+#include "util/error.hpp"
+
+namespace thermo::thermal {
+
+namespace {
+
+std::uint64_t bits_of(double dt) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(dt));
+  std::memcpy(&bits, &dt, sizeof(bits));
+  return bits;
+}
+
+}  // namespace
+
+bool ThermalSolverCache::Key::operator<(const Key& other) const {
+  return std::tie(model, dt_bits, kind) <
+         std::tie(other.model, other.dt_bits, other.kind);
+}
+
+ThermalSolverCache& ThermalSolverCache::instance() {
+  static ThermalSolverCache cache;
+  return cache;
+}
+
+ThermalSolverCache::ThermalSolverCache(std::size_t capacity)
+    : capacity_(capacity) {
+  THERMO_REQUIRE(capacity > 0, "solver cache capacity must be positive");
+}
+
+std::shared_ptr<const void> ThermalSolverCache::lookup(
+    const Key& key, const std::function<std::shared_ptr<const void>()>& make) {
+  {
+    std::scoped_lock lock(mutex_);
+    ++tick_;
+    if (auto it = entries_.find(key); it != entries_.end()) {
+      ++hits_;
+      it->second.last_used = tick_;
+      return it->second.value;
+    }
+    ++misses_;
+  }
+  // Factor OUTSIDE the lock: an O(n^3) factorization must not stall
+  // every other worker's cache lookup. Two threads racing the same key
+  // may both factor; the first insert wins and both share its result
+  // (the loser's work is discarded — rare, and merely wasted cycles).
+  std::shared_ptr<const void> value = make();
+  std::scoped_lock lock(mutex_);
+  const auto [it, inserted] = entries_.try_emplace(key, Entry{value, tick_});
+  if (!inserted) {
+    it->second.last_used = ++tick_;
+    return it->second.value;
+  }
+  while (entries_.size() > capacity_) {
+    auto oldest = entries_.begin();
+    for (auto candidate = entries_.begin(); candidate != entries_.end();
+         ++candidate) {
+      if (candidate->second.last_used < oldest->second.last_used) {
+        oldest = candidate;
+      }
+    }
+    entries_.erase(oldest);
+  }
+  return value;
+}
+
+std::shared_ptr<const linalg::CholeskyFactor> ThermalSolverCache::cholesky(
+    const RCModel& model) {
+  auto value = lookup(Key{model.identity(), 0, 0}, [&] {
+    return std::shared_ptr<const void>(
+        std::make_shared<const linalg::CholeskyFactor>(model.conductance()));
+  });
+  return std::static_pointer_cast<const linalg::CholeskyFactor>(value);
+}
+
+std::shared_ptr<const linalg::LuFactor> ThermalSolverCache::lu(
+    const RCModel& model) {
+  auto value = lookup(Key{model.identity(), 0, 1}, [&] {
+    return std::shared_ptr<const void>(
+        std::make_shared<const linalg::LuFactor>(model.conductance()));
+  });
+  return std::static_pointer_cast<const linalg::LuFactor>(value);
+}
+
+std::shared_ptr<const linalg::LinearImplicitStepper> ThermalSolverCache::stepper(
+    const RCModel& model, double dt) {
+  THERMO_REQUIRE(dt > 0.0, "solver cache: dt must be positive");
+  auto value = lookup(Key{model.identity(), bits_of(dt), 2}, [&] {
+    return std::shared_ptr<const void>(
+        std::make_shared<const linalg::LinearImplicitStepper>(
+            model.conductance(), model.capacitance(), dt));
+  });
+  return std::static_pointer_cast<const linalg::LinearImplicitStepper>(value);
+}
+
+void ThermalSolverCache::invalidate(const RCModel& model) {
+  std::scoped_lock lock(mutex_);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->first.model == model.identity()) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ThermalSolverCache::clear() {
+  std::scoped_lock lock(mutex_);
+  entries_.clear();
+}
+
+ThermalSolverCache::Stats ThermalSolverCache::stats() const {
+  std::scoped_lock lock(mutex_);
+  return Stats{hits_, misses_, entries_.size()};
+}
+
+void ThermalSolverCache::reset_stats() {
+  std::scoped_lock lock(mutex_);
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace thermo::thermal

@@ -2,9 +2,8 @@
 
 #include <algorithm>
 
-#include "linalg/cholesky.hpp"
 #include "linalg/iterative.hpp"
-#include "linalg/lu.hpp"
+#include "thermal/solver_cache.hpp"
 #include "util/error.hpp"
 
 namespace thermo::thermal {
@@ -17,10 +16,12 @@ SteadyStateResult solve_steady_state(const RCModel& model,
   SteadyStateResult result;
   switch (solver) {
     case SteadySolver::kCholesky:
-      result.rise = linalg::cholesky_solve(model.conductance(), power);
+      // Factor-cached: G is fixed per model, only the power vector
+      // changes across calls (see solver_cache.hpp).
+      result.rise = ThermalSolverCache::instance().cholesky(model)->solve(power);
       break;
     case SteadySolver::kLu:
-      result.rise = linalg::lu_solve(model.conductance(), power);
+      result.rise = ThermalSolverCache::instance().lu(model)->solve(power);
       break;
     case SteadySolver::kConjugateGradient: {
       linalg::IterativeOptions options;

@@ -7,6 +7,12 @@
 // drop the capacitances). The scheduler's validation step uses these
 // solvers through ThermalAnalyzer; transient.hpp covers the
 // time-resolved counterpart.
+//
+// The Cholesky and LU paths are factor-cached: G is fixed per RCModel,
+// so repeated solves on the same model reuse its factorization through
+// ThermalSolverCache (solver_cache.hpp) and cost only two triangular
+// substitutions. docs/SOLVERS.md explains how to choose between the
+// three solvers and when the cache applies (it never does for CG).
 #pragma once
 
 #include <vector>

@@ -9,6 +9,12 @@
 // sink's are tens of seconds), so the default integrator is backward
 // Euler with a factored system matrix; RK4 is available for
 // cross-validation on short horizons.
+//
+// The backward-Euler system matrix (C/dt + G) is factor-cached per
+// (model, dt) through ThermalSolverCache (solver_cache.hpp): the first
+// simulated session pays the LU factorization, every later session on
+// the same model and step size pays only back-substitution per step.
+// docs/SOLVERS.md covers the cost model and solver trade-offs.
 #pragma once
 
 #include <functional>

@@ -1,0 +1,92 @@
+// core::sweep_stcl: the parallel STCL scan must match per-value direct
+// scheduler runs exactly, for any thread count.
+#include "core/stcl_sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "test_helpers.hpp"
+#include "thermal/analyzer.hpp"
+#include "util/error.hpp"
+
+namespace thermo::core {
+namespace {
+
+using thermo::testing::nine_soc;
+
+TEST(StclSweepTest, MatchesDirectSchedulerRunsForAnyThreadCount) {
+  const SocSpec soc = nine_soc();
+  const auto model =
+      std::make_shared<const thermal::RCModel>(soc.flp, soc.package);
+  const std::vector<double> stcls{20.0, 40.0, 80.0};
+
+  StclSweepConfig config;
+  config.scheduler.temperature_limit = 150.0;
+
+  config.threads = 1;
+  const auto serial = sweep_stcl(soc, model, stcls, config);
+  config.threads = 3;
+  const auto parallel = sweep_stcl(soc, model, stcls, config);
+
+  ASSERT_EQ(serial.size(), stcls.size());
+  ASSERT_EQ(parallel.size(), stcls.size());
+  for (std::size_t i = 0; i < stcls.size(); ++i) {
+    // Reference: a plain scheduler run with its own analyzer.
+    thermal::ThermalAnalyzer analyzer(model);
+    ThermalSchedulerOptions options = config.scheduler;
+    options.stc_limit = stcls[i];
+    const ThermalAwareScheduler direct_scheduler(options);
+    const ScheduleResult direct = direct_scheduler.generate(soc, analyzer);
+
+    for (const auto& points : {serial, parallel}) {
+      EXPECT_DOUBLE_EQ(points[i].stcl, stcls[i]);
+      EXPECT_DOUBLE_EQ(points[i].schedule_length, direct.schedule_length);
+      EXPECT_DOUBLE_EQ(points[i].simulation_effort, direct.simulation_effort);
+      EXPECT_EQ(points[i].sessions, direct.schedule.session_count());
+      EXPECT_DOUBLE_EQ(points[i].max_temperature, direct.max_temperature);
+      EXPECT_EQ(points[i].discarded_sessions, direct.discarded_sessions);
+      EXPECT_DOUBLE_EQ(points[i].effective_temperature_limit,
+                       direct_scheduler.effective_temperature_limit());
+    }
+  }
+}
+
+TEST(StclSweepTest, RangeIncludesBothEndpoints) {
+  const std::vector<double> values = stcl_range(20.0, 100.0, 10.0);
+  ASSERT_EQ(values.size(), 9u);
+  EXPECT_DOUBLE_EQ(values.front(), 20.0);
+  // The last value may carry FP accumulation error but must be the
+  // 100.0 endpoint within the documented tolerance.
+  EXPECT_NEAR(values.back(), 100.0, 1e-9);
+}
+
+TEST(StclSweepTest, RangeRejectsBadParameters) {
+  EXPECT_THROW(stcl_range(20.0, 100.0, 0.0), InvalidArgument);
+  EXPECT_THROW(stcl_range(20.0, 100.0, -5.0), InvalidArgument);
+  EXPECT_THROW(stcl_range(100.0, 20.0, 10.0), InvalidArgument);
+  EXPECT_EQ(stcl_range(50.0, 50.0, 10.0), std::vector<double>{50.0});
+}
+
+TEST(StclSweepTest, RangeRejectsAbsurdPointCounts) {
+  // A step below min's ULP used to make the accumulating loop spin
+  // forever; both of these must throw instead of hanging or OOM-ing.
+  EXPECT_THROW(stcl_range(1e17, 2e17, 7.0), InvalidArgument);
+  EXPECT_THROW(stcl_range(0.0, 1e9, 1e-6), InvalidArgument);
+}
+
+TEST(StclSweepTest, NullModelThrows) {
+  const SocSpec soc = nine_soc();
+  EXPECT_THROW(sweep_stcl(soc, nullptr, {50.0}, StclSweepConfig{}),
+               InvalidArgument);
+}
+
+TEST(StclSweepTest, EmptyValueListYieldsEmptyResult) {
+  const SocSpec soc = nine_soc();
+  const auto model =
+      std::make_shared<const thermal::RCModel>(soc.flp, soc.package);
+  EXPECT_TRUE(sweep_stcl(soc, model, {}, StclSweepConfig{}).empty());
+}
+
+}  // namespace
+}  // namespace thermo::core

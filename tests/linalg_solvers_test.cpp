@@ -106,6 +106,20 @@ TEST(Cholesky, FactorReconstructsMatrix) {
   EXPECT_TRUE(rebuilt.approx_equal(a, 1e-9));
 }
 
+TEST(Cholesky, MatrixRhsSolve) {
+  Rng rng(5);
+  const DenseMatrix a = random_spd(4, rng);
+  const CholeskyFactor chol(a);
+  const DenseMatrix x = chol.solve(DenseMatrix::identity(4));
+  EXPECT_TRUE(a.multiply(x).approx_equal(DenseMatrix::identity(4), 1e-9));
+}
+
+TEST(Cholesky, MatrixRhsRowMismatchThrows) {
+  const auto a = DenseMatrix::from_rows({{4.0, 2.0}, {2.0, 3.0}});
+  EXPECT_THROW(CholeskyFactor(a).solve(DenseMatrix(3, 2, 1.0)),
+               InvalidArgument);
+}
+
 TEST(Cholesky, RejectsIndefiniteMatrix) {
   const auto a = DenseMatrix::from_rows({{1.0, 2.0}, {2.0, 1.0}});
   EXPECT_THROW(CholeskyDecomposition{a}, NumericalError);

@@ -1,0 +1,190 @@
+// ThermalSolverCache: cached solves must agree with cold solves, cache
+// entries must be invalidated by model identity (never aliased across
+// different models), and the hit/miss accounting must reflect reuse.
+#include "thermal/solver_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "linalg/cholesky.hpp"
+#include "linalg/lu.hpp"
+#include "test_helpers.hpp"
+#include "thermal/steady_state.hpp"
+#include "thermal/transient.hpp"
+#include "util/error.hpp"
+
+namespace thermo::thermal {
+namespace {
+
+using thermo::testing::nine_floorplan;
+using thermo::testing::quad_floorplan;
+
+std::vector<double> centre_power(std::size_t blocks, double watts) {
+  std::vector<double> power(blocks, 0.0);
+  power[blocks / 2] = watts;
+  return power;
+}
+
+TEST(ThermalSolverCacheTest, CachedSteadySolveMatchesColdSolve) {
+  const RCModel model(nine_floorplan(), PackageParams{});
+  const auto block_power = centre_power(9, 10.0);
+
+  // Cold: factor from scratch, outside the cache.
+  const std::vector<double> expanded = model.expand_power(block_power);
+  const linalg::CholeskyFactor cold(model.conductance());
+  const std::vector<double> cold_rise = cold.solve(expanded);
+
+  // First call factors into the cache; second call reuses the factor.
+  const SteadyStateResult first = solve_steady_state(model, block_power);
+  const SteadyStateResult second = solve_steady_state(model, block_power);
+
+  ASSERT_EQ(first.rise.size(), cold_rise.size());
+  for (std::size_t i = 0; i < cold_rise.size(); ++i) {
+    // Same factorization algorithm on the same matrix: bitwise equal.
+    EXPECT_DOUBLE_EQ(first.rise[i], cold_rise[i]);
+    EXPECT_DOUBLE_EQ(second.rise[i], cold_rise[i]);
+  }
+}
+
+TEST(ThermalSolverCacheTest, CachedLuSolveMatchesColdSolve) {
+  const RCModel model(quad_floorplan(), PackageParams{});
+  const auto block_power = centre_power(4, 8.0);
+  const std::vector<double> cold_rise =
+      linalg::LuFactor(model.conductance()).solve(model.expand_power(block_power));
+  const SteadyStateResult cached =
+      solve_steady_state(model, block_power, SteadySolver::kLu);
+  const SteadyStateResult again =
+      solve_steady_state(model, block_power, SteadySolver::kLu);
+  for (std::size_t i = 0; i < cold_rise.size(); ++i) {
+    EXPECT_DOUBLE_EQ(cached.rise[i], cold_rise[i]);
+    EXPECT_DOUBLE_EQ(again.rise[i], cold_rise[i]);
+  }
+}
+
+TEST(ThermalSolverCacheTest, RepeatLookupsHitTheCache) {
+  ThermalSolverCache& cache = ThermalSolverCache::instance();
+  const RCModel model(nine_floorplan(), PackageParams{});
+
+  cache.reset_stats();
+  const auto first = cache.cholesky(model);
+  const auto stats_after_first = cache.stats();
+  EXPECT_EQ(stats_after_first.misses, 1u);
+  EXPECT_EQ(stats_after_first.hits, 0u);
+
+  const auto second = cache.cholesky(model);
+  const auto stats_after_second = cache.stats();
+  EXPECT_EQ(stats_after_second.misses, 1u);
+  EXPECT_EQ(stats_after_second.hits, 1u);
+  EXPECT_EQ(first.get(), second.get());  // literally the same factor
+}
+
+TEST(ThermalSolverCacheTest, CopiesShareIdentityAndFactors) {
+  ThermalSolverCache& cache = ThermalSolverCache::instance();
+  const RCModel model(nine_floorplan(), PackageParams{});
+  const RCModel copy = model;  // NOLINT(performance-unnecessary-copy-initialization)
+  EXPECT_EQ(model.identity(), copy.identity());
+  EXPECT_EQ(cache.cholesky(model).get(), cache.cholesky(copy).get());
+}
+
+TEST(ThermalSolverCacheTest, DistinctModelsNeverAliasEntries) {
+  ThermalSolverCache& cache = ThermalSolverCache::instance();
+  // Identical construction parameters still yield distinct identities —
+  // a rebuilt model can never pick up a stale factor.
+  const RCModel a(nine_floorplan(), PackageParams{});
+  const RCModel b(nine_floorplan(), PackageParams{});
+  EXPECT_NE(a.identity(), b.identity());
+  EXPECT_NE(cache.cholesky(a).get(), cache.cholesky(b).get());
+
+  // A genuinely different model (hotter package) must produce different
+  // temperatures even when solved back-to-back through the cache.
+  PackageParams warmer;
+  warmer.r_convec *= 2.0;
+  const RCModel c(nine_floorplan(), warmer);
+  const auto block_power = centre_power(9, 10.0);
+  const SteadyStateResult cool = solve_steady_state(a, block_power);
+  const SteadyStateResult warm = solve_steady_state(c, block_power);
+  EXPECT_GT(warm.rise[4], cool.rise[4]);
+}
+
+TEST(ThermalSolverCacheTest, InvalidateDropsOnlyThatModel) {
+  ThermalSolverCache& cache = ThermalSolverCache::instance();
+  const RCModel a(nine_floorplan(), PackageParams{});
+  const RCModel b(quad_floorplan(), PackageParams{});
+  const auto factor_a = cache.cholesky(a);
+  const auto factor_b = cache.cholesky(b);
+
+  cache.invalidate(a);
+  cache.reset_stats();
+  cache.cholesky(a);  // must refactor
+  cache.cholesky(b);  // must still be cached
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+
+  // The handed-out factor stays usable after invalidation.
+  EXPECT_NO_THROW(factor_a->solve(std::vector<double>(a.node_count(), 1.0)));
+}
+
+TEST(ThermalSolverCacheTest, TransientStepperIsCachedPerDt) {
+  ThermalSolverCache& cache = ThermalSolverCache::instance();
+  const RCModel model(nine_floorplan(), PackageParams{});
+  const auto s1 = cache.stepper(model, 1e-3);
+  const auto s2 = cache.stepper(model, 1e-3);
+  const auto s3 = cache.stepper(model, 2e-3);
+  EXPECT_EQ(s1.get(), s2.get());
+  EXPECT_NE(s1.get(), s3.get());
+  EXPECT_THROW(cache.stepper(model, 0.0), InvalidArgument);
+}
+
+TEST(ThermalSolverCacheTest, RepeatedTransientSimulationsAgreeExactly) {
+  const RCModel model(nine_floorplan(), PackageParams{});
+  const auto block_power = centre_power(9, 10.0);
+  const auto initial = ambient_state(model);
+  TransientOptions options;
+  options.dt = 1e-3;
+
+  ThermalSolverCache::instance().invalidate(model);  // cold first run
+  const TransientResult cold =
+      simulate_transient(model, block_power, 0.02, initial, options);
+  const TransientResult cached =
+      simulate_transient(model, block_power, 0.02, initial, options);
+  ASSERT_EQ(cold.steps, cached.steps);
+  for (std::size_t i = 0; i < cold.final_temperature.size(); ++i) {
+    EXPECT_DOUBLE_EQ(cold.final_temperature[i], cached.final_temperature[i]);
+    EXPECT_DOUBLE_EQ(cold.peak_temperature[i], cached.peak_temperature[i]);
+  }
+}
+
+TEST(ThermalSolverCacheTest, EvictionBeyondCapacityStaysCorrect) {
+  ThermalSolverCache small(2);
+  const RCModel a(nine_floorplan(), PackageParams{});
+  const RCModel b(quad_floorplan(), PackageParams{});
+  const RCModel c(nine_floorplan(), PackageParams{});
+  small.cholesky(a);
+  small.cholesky(b);
+  small.cholesky(c);  // evicts the LRU entry (a)
+  EXPECT_EQ(small.stats().entries, 2u);
+
+  small.reset_stats();
+  const auto refactored = small.cholesky(a);
+  EXPECT_EQ(small.stats().misses, 1u);
+  // Still solves correctly after the round-trip through eviction.
+  const auto rise = refactored->solve(a.expand_power(centre_power(9, 10.0)));
+  const auto expected =
+      linalg::CholeskyFactor(a.conductance()).solve(a.expand_power(centre_power(9, 10.0)));
+  for (std::size_t i = 0; i < rise.size(); ++i) {
+    EXPECT_DOUBLE_EQ(rise[i], expected[i]);
+  }
+}
+
+TEST(ThermalSolverCacheTest, ClearEmptiesTheCache) {
+  ThermalSolverCache cache(8);
+  const RCModel model(quad_floorplan(), PackageParams{});
+  cache.cholesky(model);
+  cache.stepper(model, 1e-3);
+  EXPECT_EQ(cache.stats().entries, 2u);
+  cache.clear();
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+}  // namespace
+}  // namespace thermo::thermal
