@@ -1,26 +1,43 @@
 // thermosched: command-line front end for the ThermoSched library.
 //
-//   thermosched schedule [--flp chip.flp --density 1e6 | --alpha]
-//                        [--tl 155] [--stcl 50] [--csv]
-//   thermosched simulate --cores Icache,Dcache [--flp ... --density ...]
-//   thermosched sweep    [--alpha] [--tl 155] [--stcl-min 20]
-//                        [--stcl-max 100] [--step 10] [--threads 0] [--csv]
-//   thermosched info     [--flp chip.flp | --alpha]
+// Subcommands (run `thermosched <command> --help` for that command's
+// option list):
 //
-// `schedule` runs Algorithm 1 and prints the thermal-safe schedule;
-// `simulate` runs one session through the RC oracle and prints per-core
-// peaks plus an ASCII thermal map; `sweep` runs Algorithm 1 once per
-// STCL value in the given range, fanned across a thread pool that
-// shares the model's cached factorizations (src/sweep); `info` prints
-// floorplan statistics (areas, adjacency, boundary exposure, power
-// densities).
+//   schedule  Run Algorithm 1 and print the thermal-safe schedule.
+//             Options: --flp PATH --density D | --alpha, --tl, --stcl,
+//             --stc-scale, --csv
+//   simulate  Run one test session through the RC oracle; print per-core
+//             peaks and an ASCII thermal map.
+//             Options: --cores a,b,c (required), --flp/--density |
+//             --alpha, --csv
+//   sweep     Run Algorithm 1 once per STCL value in a range, fanned
+//             across a thread pool that shares the model's cached
+//             factorizations (src/sweep).
+//             Options: --stcl-min, --stcl-max, --step, --threads,
+//             --flp/--density | --alpha, --tl, --stc-scale, --csv
+//   serve     Stream JSONL scenario requests through the scenario
+//             runner (src/scenario) and emit one JSONL result record
+//             per request; deterministic for any thread count. Schema:
+//             docs/SERVE.md.
+//             Options: --in PATH|-, --out PATH|-, --threads
+//   info      Print floorplan statistics (areas, adjacency, boundary
+//             exposure, power densities).
+//             Options: --flp PATH --density D | --alpha, --csv
+//
+// Exit codes:
+//   0  success (including --help)
+//   1  runtime error: unreadable/malformed input file, scheduler or
+//      solver failure — the message is printed to stderr as "error: ..."
+//   2  usage error: unknown command, unknown flag, malformed flag value
 #include <algorithm>
+#include <fstream>
 #include <iostream>
 #include <memory>
 
 #include "core/stcl_sweep.hpp"
 #include "core/thermal_scheduler.hpp"
 #include "floorplan/flp_io.hpp"
+#include "scenario/serve.hpp"
 #include "soc/alpha.hpp"
 #include "thermal/analyzer.hpp"
 #include "thermal/solver_cache.hpp"
@@ -33,6 +50,10 @@
 using namespace thermo;
 
 namespace {
+
+constexpr int kExitOk = 0;
+constexpr int kExitRuntimeError = 1;
+constexpr int kExitUsageError = 2;
 
 struct CommonArgs {
   std::string flp_path;
@@ -48,7 +69,35 @@ struct CommonArgs {
   double stcl_max = 100.0;
   double step = 10.0;
   long long threads = 0;  // 0 = hardware concurrency
+  // serve-only knobs
+  std::string in_path = "-";
+  std::string out_path = "-";
 };
+
+void print_global_usage(std::ostream& out) {
+  out << "usage: thermosched <command> [options]\n"
+         "\n"
+         "commands:\n"
+         "  schedule  Run Algorithm 1, print the thermal-safe schedule\n"
+         "            [--flp PATH --density D | --alpha] [--tl C] [--stcl S]\n"
+         "            [--stc-scale X] [--csv]\n"
+         "  simulate  Simulate one test session through the RC oracle\n"
+         "            --cores a,b,c [--flp PATH --density D | --alpha] [--csv]\n"
+         "  sweep     Algorithm 1 once per STCL value, across a thread pool\n"
+         "            [--stcl-min S] [--stcl-max S] [--step S] [--threads N]\n"
+         "            [--flp PATH --density D | --alpha] [--tl C]\n"
+         "            [--stc-scale X] [--csv]\n"
+         "  serve     Stream JSONL scenario requests -> JSONL results\n"
+         "            (schema: docs/SERVE.md; deterministic for any thread\n"
+         "            count)  [--in PATH|-] [--out PATH|-] [--threads N]\n"
+         "  info      Floorplan statistics\n"
+         "            [--flp PATH --density D | --alpha] [--csv]\n"
+         "\n"
+         "`thermosched <command> --help` lists that command's options.\n"
+         "\n"
+         "exit codes: 0 success; 1 runtime error (bad input file, scheduler\n"
+         "failure); 2 usage error (unknown command/flag, malformed value).\n";
+}
 
 core::SocSpec build_soc(const CommonArgs& args) {
   if (args.alpha || args.flp_path.empty()) {
@@ -96,7 +145,7 @@ int cmd_schedule(const CommonArgs& args) {
             << "s effort=" << result.simulation_effort
             << "s max=" << format_double(result.max_temperature, 2)
             << "C (TL " << scheduler.effective_temperature_limit() << "C)\n";
-  return 0;
+  return kExitOk;
 }
 
 int cmd_simulate(const CommonArgs& args) {
@@ -126,7 +175,7 @@ int cmd_simulate(const CommonArgs& args) {
   std::cout << "\nmax " << format_double(sim.max_temperature, 2) << " C in '"
             << soc.flp.block(sim.hottest_block).name << "'\n\n"
             << viz::ascii_block_map(soc.flp, sim.peak_temperature, 56);
-  return 0;
+  return kExitOk;
 }
 
 int cmd_sweep(const CommonArgs& args) {
@@ -174,7 +223,59 @@ int cmd_sweep(const CommonArgs& args) {
             << format_double(effective_tl, 2) << " C), " << stcls.size()
             << " STCL values; solver cache: " << stats.misses
             << " factorizations, " << stats.hits << " cached solves\n";
-  return 0;
+  return kExitOk;
+}
+
+int cmd_serve(const CommonArgs& args) {
+  std::ifstream in_file;
+  if (args.in_path != "-") {
+    in_file.open(args.in_path);
+    if (!in_file) {
+      throw InvalidArgument("cannot open requests file '" + args.in_path + "'");
+    }
+  }
+  std::ofstream out_file;
+  if (args.out_path != "-") {
+    out_file.open(args.out_path);
+    if (!out_file) {
+      throw InvalidArgument("cannot open results file '" + args.out_path +
+                            "' for writing");
+    }
+  }
+  std::istream& in = args.in_path == "-" ? std::cin : in_file;
+  std::ostream& out = args.out_path == "-" ? std::cout : out_file;
+
+  scenario::ScenarioRunner runner;
+  scenario::ServeOptions options;
+  options.threads = static_cast<std::size_t>(std::max(0LL, args.threads));
+  const scenario::ServeSummary summary =
+      scenario::serve_stream(in, out, runner, options);
+  // A full disk or closed pipe must be a runtime error, not a silent
+  // success with a truncated results file.
+  out.flush();
+  if (!out.good()) {
+    throw Error("failed writing results to '" + args.out_path + "'");
+  }
+
+  // Summary goes to stderr: with --out -, stdout is the results stream
+  // and must stay pure (and byte-identical across thread counts; wall
+  // time may not appear in it).
+  const double rate = summary.wall_seconds > 0.0
+                          ? static_cast<double>(summary.requests) /
+                                summary.wall_seconds
+                          : 0.0;
+  std::cerr << "served " << summary.requests << " requests ("
+            << summary.succeeded << " ok, " << summary.failed << " failed) in "
+            << format_double(summary.wall_seconds, 3) << " s on "
+            << summary.threads << " threads (" << format_double(rate, 1)
+            << " req/s); models built " << summary.runner.model_misses
+            << ", reused " << summary.runner.model_hits << '\n';
+  if (args.out_path == "-") return kExitOk;
+  // A short confirmation so the smoke harness (non-empty stdout) and
+  // humans both see where the records went.
+  std::cout << "wrote " << summary.requests << " result records to "
+            << args.out_path << '\n';
+  return kExitOk;
 }
 
 int cmd_info(const CommonArgs& args) {
@@ -195,48 +296,87 @@ int cmd_info(const CommonArgs& args) {
   }
   if (args.csv) table.print_csv(std::cout);
   else table.print(std::cout);
-  return 0;
+  return kExitOk;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::cerr << "usage: thermosched <schedule|simulate|sweep|info> [options]\n"
-                 "       thermosched <command> --help\n";
-    return 1;
+    print_global_usage(std::cerr);
+    return kExitUsageError;
   }
   const std::string command = argv[1];
+  if (command == "--help" || command == "-h" || command == "help") {
+    print_global_usage(std::cout);
+    return kExitOk;
+  }
 
+  const bool is_schedule = command == "schedule";
+  const bool is_simulate = command == "simulate";
+  const bool is_sweep = command == "sweep";
+  const bool is_serve = command == "serve";
+  const bool is_info = command == "info";
+  if (!is_schedule && !is_simulate && !is_sweep && !is_serve && !is_info) {
+    std::cerr << "unknown command '" << command << "'\n\n";
+    print_global_usage(std::cerr);
+    return kExitUsageError;
+  }
+
+  // Each command registers exactly the flags it understands, so
+  // `thermosched <command> --help` is precise and a flag on the wrong
+  // command is a usage error instead of a silent no-op.
   CommonArgs args;
   CliParser cli("thermosched " + command, "Thermal-safe SoC test scheduling");
-  cli.add_string("flp", "HotSpot .flp floorplan file", &args.flp_path);
-  cli.add_double("density", "Uniform test power density for --flp [W/m^2]",
-                 &args.density);
   bool alpha_flag = false;
-  cli.add_flag("alpha", "Use the bundled Alpha-15 SoC", &alpha_flag);
-  cli.add_double("tl", "Temperature limit TL [deg C]", &args.tl);
-  cli.add_double("stcl", "Session thermal characteristic limit", &args.stcl);
-  cli.add_double("stc-scale", "STC normalisation (0 = auto)", &args.stc_scale);
-  cli.add_string("cores", "Comma-separated cores (simulate)", &args.cores);
-  cli.add_flag("csv", "CSV output", &args.csv);
-  cli.add_double("stcl-min", "Smallest STCL (sweep)", &args.stcl_min);
-  cli.add_double("stcl-max", "Largest STCL (sweep)", &args.stcl_max);
-  cli.add_double("step", "STCL increment (sweep)", &args.step);
-  cli.add_int("threads", "Worker threads, 0 = all cores (sweep)",
-              &args.threads);
+  if (!is_serve) {
+    cli.add_string("flp", "HotSpot .flp floorplan file", &args.flp_path);
+    cli.add_double("density", "Uniform test power density for --flp [W/m^2]",
+                   &args.density);
+    cli.add_flag("alpha", "Use the bundled Alpha-15 SoC (default)", &alpha_flag);
+    cli.add_flag("csv", "CSV output", &args.csv);
+  }
+  if (is_schedule || is_sweep) {
+    cli.add_double("tl", "Temperature limit TL [deg C]", &args.tl);
+    cli.add_double("stc-scale", "STC normalisation (0 = auto)", &args.stc_scale);
+  }
+  if (is_schedule) {
+    cli.add_double("stcl", "Session thermal characteristic limit", &args.stcl);
+  }
+  if (is_simulate) {
+    cli.add_string("cores", "Comma-separated cores to test concurrently",
+                   &args.cores);
+  }
+  if (is_sweep) {
+    cli.add_double("stcl-min", "Smallest STCL of the sweep", &args.stcl_min);
+    cli.add_double("stcl-max", "Largest STCL of the sweep", &args.stcl_max);
+    cli.add_double("step", "STCL increment", &args.step);
+  }
+  if (is_serve) {
+    cli.add_string("in", "JSONL requests file, - = stdin", &args.in_path);
+    cli.add_string("out", "JSONL results file, - = stdout", &args.out_path);
+  }
+  if (is_sweep || is_serve) {
+    cli.add_int("threads", "Worker threads, 0 = all hardware threads",
+                &args.threads);
+  }
 
   try {
-    if (!cli.parse(argc - 1, argv + 1)) return 0;
-    args.alpha = alpha_flag;
-    if (command == "schedule") return cmd_schedule(args);
-    if (command == "simulate") return cmd_simulate(args);
-    if (command == "sweep") return cmd_sweep(args);
-    if (command == "info") return cmd_info(args);
-    std::cerr << "unknown command '" << command << "'\n";
-    return 1;
+    if (!cli.parse(argc - 1, argv + 1)) return kExitOk;  // --help
   } catch (const Error& e) {
     std::cerr << "error: " << e.what() << '\n';
-    return 1;
+    return kExitUsageError;
+  }
+  args.alpha = alpha_flag;
+
+  try {
+    if (is_schedule) return cmd_schedule(args);
+    if (is_simulate) return cmd_simulate(args);
+    if (is_sweep) return cmd_sweep(args);
+    if (is_serve) return cmd_serve(args);
+    return cmd_info(args);
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return kExitRuntimeError;
   }
 }

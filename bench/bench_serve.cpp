@@ -1,0 +1,125 @@
+// Serve-path throughput record: run the demo request batch through
+// scenario::serve_stream once on 1 thread and once on all hardware
+// threads, check the outputs are bit-identical, and report throughput.
+//
+//   ./build/bench/bench_serve                      # human-readable table
+//   ./build/bench/bench_serve --json BENCH_serve.json
+//
+// The JSON record (schema "thermo.bench_serve.v1") is the serve
+// subsystem's perf-trajectory point; CI produces and schema-validates it
+// on every push and fails when `deterministic` is false or any request
+// errored. Fields:
+//   requests, ok, failed     batch composition (ok must equal requests)
+//   threads                  workers used in the parallel run
+//   serial_s / parallel_s    wall time of the 1-thread / N-thread run
+//   speedup                  serial_s / parallel_s
+//   requests_per_s           requests / parallel_s
+//   deterministic            1-thread and N-thread outputs byte-equal
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "scenario/demo.hpp"
+#include "scenario/serve.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+struct Run {
+  std::string output;
+  thermo::scenario::ServeSummary summary;
+};
+
+Run run_batch(const std::string& requests, std::size_t threads) {
+  std::istringstream in(requests);
+  std::ostringstream out;
+  thermo::scenario::ScenarioRunner runner;  // cold model cache per run
+  thermo::scenario::ServeOptions options;
+  options.threads = threads;
+  const auto summary =
+      thermo::scenario::serve_stream(in, out, runner, options);
+  return Run{out.str(), summary};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace thermo;
+  long long count = 120;
+  long long seed = 20;
+  std::string json_path;
+  CliParser cli("bench_serve",
+                "Throughput + determinism record for the serve batch path");
+  cli.add_int("requests", "Batch size", &count);
+  cli.add_int("seed", "Demo-batch seed", &seed);
+  cli.add_string("json", "Write BENCH_serve.json-style record here",
+                 &json_path);
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+    THERMO_REQUIRE(count >= 1, "--requests must be >= 1");
+    THERMO_REQUIRE(seed >= 0, "--seed must be >= 0");
+
+    std::string requests;
+    for (const scenario::ScenarioRequest& request : scenario::demo_batch(
+             static_cast<std::size_t>(count), static_cast<std::uint64_t>(seed))) {
+      requests += scenario::to_json_line(request);
+      requests += '\n';
+    }
+
+    const Run serial = run_batch(requests, 1);
+    const Run parallel = run_batch(requests, 0);  // 0 = hardware threads
+    const bool deterministic = serial.output == parallel.output;
+    const double speedup =
+        parallel.summary.wall_seconds > 0.0
+            ? serial.summary.wall_seconds / parallel.summary.wall_seconds
+            : 0.0;
+    const double rate = parallel.summary.wall_seconds > 0.0
+                            ? static_cast<double>(parallel.summary.requests) /
+                                  parallel.summary.wall_seconds
+                            : 0.0;
+
+    std::cout << "serve batch: " << parallel.summary.requests << " requests ("
+              << parallel.summary.succeeded << " ok, "
+              << parallel.summary.failed << " failed)\n"
+              << "  1 thread : " << format_double(serial.summary.wall_seconds, 3)
+              << " s\n"
+              << "  " << parallel.summary.threads << " threads: "
+              << format_double(parallel.summary.wall_seconds, 3) << " s ("
+              << format_double(speedup, 2) << "x, "
+              << format_double(rate, 1) << " req/s)\n"
+              << "  deterministic: " << (deterministic ? "yes" : "NO") << '\n';
+
+    if (!json_path.empty()) {
+      JsonValue record = JsonValue::object();
+      record.set("schema", JsonValue::string("thermo.bench_serve.v1"));
+      record.set("requests", JsonValue::number(static_cast<double>(
+                                 parallel.summary.requests)));
+      record.set("ok", JsonValue::number(static_cast<double>(
+                           parallel.summary.succeeded)));
+      record.set("failed", JsonValue::number(static_cast<double>(
+                               parallel.summary.failed)));
+      record.set("threads", JsonValue::number(static_cast<double>(
+                                parallel.summary.threads)));
+      record.set("serial_s", JsonValue::number(serial.summary.wall_seconds));
+      record.set("parallel_s",
+                 JsonValue::number(parallel.summary.wall_seconds));
+      record.set("speedup", JsonValue::number(speedup));
+      record.set("requests_per_s", JsonValue::number(rate));
+      record.set("deterministic", JsonValue::boolean(deterministic));
+      std::ofstream out(json_path);
+      THERMO_REQUIRE(static_cast<bool>(out),
+                     "cannot open --json path for writing");
+      out << record.dump() << '\n';
+      out.flush();
+      THERMO_REQUIRE(out.good(), "failed writing '" + json_path + "'");
+      std::cout << "wrote " << json_path << '\n';
+    }
+    return deterministic ? 0 : 1;
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

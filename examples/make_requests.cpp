@@ -1,0 +1,36 @@
+// Emit a demo JSONL request batch for `thermosched serve` to stdout.
+//
+//   ./build/examples/make_requests --count 120 > requests.jsonl
+//   ./build/apps/thermosched serve --in requests.jsonl --out results.jsonl
+//
+// The batch is fully determined by (--count, --seed) — the serve smoke
+// test and CI use that to check the 1-vs-N-thread outputs are
+// bit-identical. Request schema: docs/SERVE.md.
+#include <iostream>
+
+#include "scenario/demo.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+
+int main(int argc, char** argv) {
+  using namespace thermo;
+  long long count = 120;
+  long long seed = 20;
+  CliParser cli("make_requests",
+                "Generate a demo JSONL scenario batch for thermosched serve");
+  cli.add_int("count", "Number of requests to emit", &count);
+  cli.add_int("seed", "Generator seed (same seed = same batch)", &seed);
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+    THERMO_REQUIRE(count >= 1, "--count must be >= 1");
+    THERMO_REQUIRE(seed >= 0, "--seed must be >= 0");
+    for (const scenario::ScenarioRequest& request : scenario::demo_batch(
+             static_cast<std::size_t>(count), static_cast<std::uint64_t>(seed))) {
+      std::cout << scenario::to_json_line(request) << '\n';
+    }
+    return 0;
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -1,7 +1,8 @@
 // Post-hoc verification: simulate every session of a schedule with the
 // full RC model and report thermal violations against a temperature
 // limit. Used by tests (scheduler output must verify clean) and by the
-// power-vs-thermal comparison benches.
+// power-vs-thermal comparison benches. docs/SCHEDULING.md ("The safety
+// net") places it in the overall flow.
 #pragma once
 
 #include <cstddef>

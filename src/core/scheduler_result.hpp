@@ -3,6 +3,7 @@
 // lengths — test application time) and *simulation effort* (total
 // simulated seconds spent in the RC oracle, including discarded
 // sessions — the cost Algorithm 1 is designed to minimise).
+// docs/SCHEDULING.md ("Reading the result") interprets every field.
 #pragma once
 
 #include <cstddef>

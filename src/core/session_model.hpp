@@ -26,6 +26,9 @@
 // avoid. `include_vertical_path` optionally adds the die->package
 // vertical resistance in parallel (an extension; off by default to match
 // the paper, exercised by the model-fidelity ablation).
+//
+// docs/SCHEDULING.md explains how the scheduler uses STC/STCL and how
+// stc_scale places a SoC on the paper's STCL axis.
 #pragma once
 
 #include <limits>

@@ -16,7 +16,7 @@ std::vector<StclSweepPoint> sweep_stcl(
   const sweep::ScenarioSweep sweeper(sweep_options);
 
   return sweeper.map(stcl_values.size(), [&](std::size_t i) {
-    thermal::ThermalAnalyzer analyzer(model);
+    thermal::ThermalAnalyzer analyzer(model, config.analyzer);
     ThermalSchedulerOptions options = config.scheduler;
     options.stc_limit = stcl_values[i];
     const ThermalAwareScheduler scheduler(options);

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/thermal_scheduler.hpp"
+#include "thermal/analyzer.hpp"
 #include "thermal/rc_model.hpp"
 
 namespace thermo::core {
@@ -24,7 +25,11 @@ struct StclSweepConfig {
   /// Scheduler knobs for every point; `scheduler.stc_limit` is
   /// overwritten by each swept value.
   ThermalSchedulerOptions scheduler;
-  /// Worker threads; 0 picks hardware concurrency.
+  /// Oracle options for the per-point analyzers (dt, transient vs
+  /// steady-state).
+  thermal::ThermalAnalyzer::Options analyzer;
+  /// Worker threads; 0 picks hardware concurrency, 1 runs inline —
+  /// what scenario::ScenarioRunner uses from inside a serve worker.
   std::size_t threads = 0;
 };
 

@@ -22,6 +22,9 @@
 //     so it must be thermally safe) — otherwise tight STCL values would
 //     loop forever;
 //   * an attempt cap turns pathological non-termination into an error.
+//
+// docs/SCHEDULING.md walks through the whole algorithm class by class
+// (STCL semantics, solo-violation policies, result metrics).
 #pragma once
 
 #include "core/scheduler_result.hpp"

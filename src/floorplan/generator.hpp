@@ -1,5 +1,16 @@
-// Synthetic floorplan generators, used by property tests (random valid
-// floorplans) and the solver-scaling benchmark (grids of arbitrary size).
+// Synthetic floorplan generators: parameterised die geometries for
+// property tests (random valid floorplans), solver-scaling studies
+// (grids of arbitrary node count), and synthetic-SoC scenarios
+// (soc::make_synthetic_soc builds on the slicing generator).
+//
+// Both generators guarantee what Floorplan::validate() checks — blocks
+// with positive dimensions, pairwise non-overlapping, covering the die
+// exactly — so downstream code (RCModel construction, the session
+// model's adjacency walk) can rely on a well-formed adjacency graph
+// without re-validating. Both are deterministic: the grid from its
+// arguments alone, the slicing tree from the Rng state, which is how
+// scenario requests reproduce "the same random SoC" from a seed
+// (docs/SERVE.md, soc.kind = "synthetic").
 #pragma once
 
 #include <cstddef>
@@ -10,7 +21,12 @@
 namespace thermo::floorplan {
 
 /// Uniform rows x cols grid covering chip_width x chip_height metres.
-/// Block names are "b<r>_<c>".
+/// Block names are "b<r>_<c>" (row 0 at the bottom, matching the
+/// HotSpot lower-left-origin convention). Every interior block has
+/// exactly 4 neighbours — the regular lattice used to scale the RC node
+/// count in bench_solver_perf and the grid-discretisation ablation.
+/// Throws InvalidArgument unless rows, cols and both dimensions are
+/// positive.
 Floorplan make_grid_floorplan(std::size_t rows, std::size_t cols,
                               double chip_width, double chip_height);
 
@@ -18,15 +34,26 @@ struct SlicingOptions {
   std::size_t block_count = 12;   ///< number of leaf blocks (>= 1)
   double chip_width = 0.016;     ///< metres
   double chip_height = 0.016;    ///< metres
-  double min_cut_fraction = 0.3; ///< cuts fall in [min, 1-min] of the span
-  double min_block_dim = 1e-4;   ///< metres; regions thinner than 2x this
-                                 ///< are not cut in that direction
+  /// Cut positions are drawn uniformly from [min, 1-min] of the sliced
+  /// span: 0.5 always bisects (a regular floorplan), values near 0
+  /// allow extreme aspect ratios and strongly varied block areas — the
+  /// heterogeneity the thermal model cares about.
+  double min_cut_fraction = 0.3;
+  /// Regions thinner than 2x this (metres) are not cut in that
+  /// direction, bounding how sliver-like a block can get; the generator
+  /// falls back to the other direction, so block_count is always met.
+  double min_block_dim = 1e-4;
 };
 
-/// Random slicing-tree floorplan: recursively slices the die with
-/// alternating-preference horizontal/vertical cuts. Always produces a
-/// valid (non-overlapping, fully covering) floorplan with exactly
-/// `block_count` blocks. Deterministic for a given RNG state.
+/// Random slicing floorplan: repeatedly cuts the currently largest
+/// region — preferring to cut across its longer span, coin-flipping on
+/// ties — until `block_count` leaves exist. The result mimics real
+/// hierarchical layouts: a mix of large and small rectangles with
+/// irregular adjacency, unlike the grid's uniform lattice. Always valid
+/// and fully covering; deterministic for a given RNG state. Blocks are
+/// named "c<index>" in creation order. Throws InvalidArgument on
+/// non-positive dimensions, min_cut_fraction outside (0, 0.5), or a
+/// block_count unreachable without violating min_block_dim.
 Floorplan make_slicing_floorplan(Rng& rng, const SlicingOptions& options = {});
 
 }  // namespace thermo::floorplan

@@ -1,0 +1,62 @@
+#include "scenario/demo.hpp"
+
+#include "util/rng.hpp"
+
+namespace thermo::scenario {
+
+std::vector<ScenarioRequest> demo_batch(std::size_t count,
+                                        std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<ScenarioRequest> batch;
+  batch.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    ScenarioRequest request;
+    request.id = "demo-" + std::to_string(i);
+    request.tl = 145.0 + 5.0 * static_cast<double>(i % 5);  // 145..165
+
+    switch (i % 5) {
+      case 0:  // Alpha at one STCL value
+        request.soc.kind = SocKind::kAlpha;
+        request.stcl.min = request.stcl.max =
+            30.0 + 10.0 * static_cast<double>(i % 7);
+        break;
+      case 1:  // the Fig.1 motivating SoC
+        request.soc.kind = SocKind::kFig1;
+        request.stcl.min = request.stcl.max = 50.0;
+        break;
+      case 2:  // synthetic SoC, varying size and seed
+        request.soc.kind = SocKind::kSynthetic;
+        request.soc.synthetic.seed = rng.next_u64() >> 12;
+        request.soc.synthetic.cores = 8 + i % 6;
+        request.stcl.min = request.stcl.max = 40.0;
+        break;
+      case 3:  // Alpha across a small STCL range
+        request.soc.kind = SocKind::kAlpha;
+        request.stcl.min = 30.0;
+        request.stcl.max = 60.0;
+        request.stcl.step = 15.0;
+        break;
+      default:  // synthetic at a shifted power corner
+        request.soc.kind = SocKind::kSynthetic;
+        request.soc.synthetic.seed = rng.next_u64() >> 12;
+        request.soc.synthetic.cores = 10;
+        request.soc.power_scale = 0.8 + 0.4 * rng.uniform();
+        request.stcl.min = request.stcl.max = 60.0;
+        break;
+    }
+
+    // The steady-state oracle keeps big batches cheap; every tenth
+    // request exercises the transient path (coarse dt — it is the code
+    // path we want covered, not fine-grained integration).
+    if (i % 10 == 9) {
+      request.solver.transient = true;
+      request.solver.dt = 1e-2;
+    } else {
+      request.solver.transient = false;
+    }
+    batch.push_back(std::move(request));
+  }
+  return batch;
+}
+
+}  // namespace thermo::scenario

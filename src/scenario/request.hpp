@@ -1,0 +1,138 @@
+// Scenario request format: a durable JSON description of one scheduling
+// scenario — which SoC, at which power corner, over which STCL values,
+// under which temperature limit and solver options. This is the unit of
+// work `thermosched serve` streams (one request per JSONL line) and
+// ScenarioRunner executes; docs/SERVE.md is the full schema reference
+// with copy-pasteable examples.
+//
+// Parsing is *strict*: unknown fields, wrong types, and out-of-range
+// values all throw InvalidArgument with the offending field path, e.g.
+//   scenario request: soc.kind: unknown SoC kind 'alhpa' (expected
+//   'alpha', 'fig1', 'synthetic', or 'flp')
+// A typo'd scenario file fails loudly instead of silently running the
+// default scenario.
+//
+// Serialization (to_json) emits the *canonical full form*: every field
+// explicit, fixed member order, shortest round-trip numbers. Therefore
+// parse -> serialize is a normalizing step and
+// serialize(parse(serialize(parse(x)))) == serialize(parse(x)) — the
+// golden-file round-trip property tests/scenario_request_test.cpp pins.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/thermal_scheduler.hpp"
+#include "util/json.hpp"
+
+namespace thermo::scenario {
+
+/// Where the system under test comes from.
+enum class SocKind {
+  kAlpha,      ///< the paper's 15-core Alpha-like SoC (soc::alpha_soc)
+  kFig1,       ///< the 7-core motivating example (soc::fig1_soc)
+  kSynthetic,  ///< random slicing floorplan (soc::make_synthetic_soc)
+  kFlp         ///< HotSpot .flp file + uniform test power density
+};
+
+/// Canonical spelling used in JSON ("alpha", "fig1", "synthetic", "flp").
+const char* soc_kind_name(SocKind kind);
+
+/// Generator parameters for SocKind::kSynthetic — soc::SyntheticOptions
+/// plus the RNG seed that makes the scenario reproducible.
+struct SyntheticSpec {
+  std::uint64_t seed = 1;
+  std::size_t cores = 12;
+  double chip_width = 0.016;       ///< metres
+  double chip_height = 0.016;      ///< metres
+  double power_density_min = 2e5;  ///< W/m^2
+  double power_density_max = 2e6;  ///< W/m^2
+  double test_length_min = 1.0;    ///< s
+  double test_length_max = 1.0;    ///< s
+};
+
+/// SoC selection: a kind plus its kind-specific parameters and a
+/// power-corner multiplier.
+struct SocSelector {
+  SocKind kind = SocKind::kAlpha;
+
+  /// DVFS/corner scaling: every core's test power is multiplied by this
+  /// after construction. Does not affect geometry, so requests that
+  /// differ only in power_scale share one cached RCModel.
+  double power_scale = 1.0;
+
+  // kind == kFlp
+  std::string flp_path;
+  double flp_density = 1.0e6;  ///< uniform test power density [W/m^2]
+
+  // kind == kSynthetic
+  SyntheticSpec synthetic;
+
+  /// Key identifying the *geometry* (floorplan + package) this selector
+  /// produces — the unit of RCModel sharing in ScenarioRunner. Fields
+  /// that only scale powers (power_scale, flp_density, the synthetic
+  /// power/length ranges) are deliberately excluded: the RC network is
+  /// identical across them.
+  std::string geometry_key() const;
+};
+
+/// STCL values to schedule at: a single value (min == max) or an
+/// inclusive range swept in `step` increments.
+struct StclSpan {
+  double min = 50.0;
+  double max = 50.0;
+  double step = 10.0;
+
+  bool single() const { return min == max; }
+
+  /// The expanded value list (via core::stcl_range; never empty).
+  std::vector<double> values() const;
+};
+
+/// Oracle options forwarded to thermal::ThermalAnalyzer.
+struct SolverSpec {
+  double dt = 1e-3;       ///< backward-Euler step [s]
+  bool transient = true;  ///< false = steady-state (faster, pessimistic)
+};
+
+struct ScenarioRequest {
+  /// Caller-chosen identifier echoed into the result record. When empty,
+  /// `thermosched serve` substitutes "line-<input line number>".
+  std::string id;
+
+  SocSelector soc;
+
+  double tl = 155.0;  ///< temperature limit TL [deg C]
+  StclSpan stcl;
+
+  /// STC normalisation; 0 selects the per-SoC default (alpha_stc_scale()
+  /// for the Alpha SoC, 2.8e-3 otherwise — same rule as the CLI).
+  double stc_scale = 0.0;
+
+  double weight_factor = 1.1;  ///< W multiplier on violation (paper: 1.1)
+
+  /// Default raise-limit, matching the CLI: a served batch should report
+  /// the effective TL rather than die on one hot solo core.
+  core::SoloViolationPolicy solo_policy = core::SoloViolationPolicy::kRaiseLimit;
+  core::CoreOrder core_order = core::CoreOrder::kDescendingSoloTc;
+
+  SolverSpec solver;
+};
+
+/// Parses + validates one request from its JSON form. Throws
+/// InvalidArgument ("scenario request: <field>: <problem>") on any
+/// unknown field, type mismatch, or out-of-range value.
+ScenarioRequest parse_request(const JsonValue& json);
+
+/// Parses a request from JSON text (one JSONL line). Malformed JSON
+/// throws ParseError; invalid content throws InvalidArgument as above.
+ScenarioRequest parse_request_line(std::string_view text);
+
+/// Canonical full-form serialization (see file comment).
+JsonValue to_json(const ScenarioRequest& request);
+
+/// to_json(request).dump() — one JSONL line, without the newline.
+std::string to_json_line(const ScenarioRequest& request);
+
+}  // namespace thermo::scenario

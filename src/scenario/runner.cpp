@@ -1,0 +1,161 @@
+#include "scenario/runner.hpp"
+
+#include "floorplan/flp_io.hpp"
+#include "soc/alpha.hpp"
+#include "soc/fig1.hpp"
+#include "soc/synthetic.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace thermo::scenario {
+
+namespace {
+
+/// Per-SoC default STC normalisation, the same rule the CLI applies:
+/// the Alpha SoC ships a calibrated scale; everything else uses the
+/// generic 2.8e-3 that places typical block-level SoCs on the paper's
+/// 20..100 STCL axis.
+double auto_stc_scale(SocKind kind) {
+  return kind == SocKind::kAlpha ? soc::alpha_stc_scale() : 2.8e-3;
+}
+
+}  // namespace
+
+JsonValue to_json(const ScenarioResult& result) {
+  JsonValue out = JsonValue::object();
+  out.set("id", JsonValue::string(result.id));
+  out.set("ok", JsonValue::boolean(result.ok));
+  if (!result.ok) {
+    out.set("error", JsonValue::string(result.error));
+    return out;
+  }
+  out.set("soc", JsonValue::string(result.soc_name));
+  out.set("cores", JsonValue::number(static_cast<double>(result.cores)));
+  JsonValue points = JsonValue::array();
+  for (const core::StclSweepPoint& point : result.points) {
+    JsonValue p = JsonValue::object();
+    p.set("stcl", JsonValue::number(point.stcl));
+    p.set("schedule_length", JsonValue::number(point.schedule_length));
+    p.set("simulation_effort", JsonValue::number(point.simulation_effort));
+    p.set("sessions", JsonValue::number(static_cast<double>(point.sessions)));
+    p.set("max_temperature", JsonValue::number(point.max_temperature));
+    p.set("discarded_sessions",
+          JsonValue::number(static_cast<double>(point.discarded_sessions)));
+    p.set("effective_tl",
+          JsonValue::number(point.effective_temperature_limit));
+    points.append(std::move(p));
+  }
+  out.set("points", std::move(points));
+  out.set("simulation_effort", JsonValue::number(result.simulation_effort));
+  return out;
+}
+
+core::SocSpec ScenarioRunner::build_soc(const SocSelector& selector) {
+  core::SocSpec soc;
+  switch (selector.kind) {
+    case SocKind::kAlpha:
+      soc = soc::alpha_soc();
+      break;
+    case SocKind::kFig1:
+      soc = soc::fig1_soc();
+      break;
+    case SocKind::kSynthetic: {
+      Rng rng(selector.synthetic.seed);
+      soc::SyntheticOptions options;
+      options.core_count = selector.synthetic.cores;
+      options.chip_width = selector.synthetic.chip_width;
+      options.chip_height = selector.synthetic.chip_height;
+      options.power_density_min = selector.synthetic.power_density_min;
+      options.power_density_max = selector.synthetic.power_density_max;
+      options.test_length_min = selector.synthetic.test_length_min;
+      options.test_length_max = selector.synthetic.test_length_max;
+      soc = soc::make_synthetic_soc(rng, options);
+      break;
+    }
+    case SocKind::kFlp: {
+      soc.flp = floorplan::load_flp(selector.flp_path);
+      soc.name = soc.flp.name();
+      soc.package = thermal::PackageParams{};
+      for (std::size_t i = 0; i < soc.flp.size(); ++i) {
+        soc.tests.push_back(core::CoreTest{
+            selector.flp_density * soc.flp.block(i).area(), 1.0});
+      }
+      break;
+    }
+  }
+  if (selector.power_scale != 1.0) {
+    for (core::CoreTest& test : soc.tests) test.power *= selector.power_scale;
+  }
+  soc.validate();
+  return soc;
+}
+
+std::shared_ptr<const thermal::RCModel> ScenarioRunner::model_for(
+    const SocSelector& selector, const core::SocSpec& soc) {
+  const std::string key = selector.geometry_key();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = models_.find(key);
+  if (it != models_.end()) {
+    ++stats_.model_hits;
+    it->second.last_used = ++use_counter_;
+    return it->second.model;
+  }
+  if (models_.size() >= kMaxCachedModels) {
+    auto victim = models_.begin();
+    for (auto cand = models_.begin(); cand != models_.end(); ++cand) {
+      if (cand->second.last_used < victim->second.last_used) victim = cand;
+    }
+    models_.erase(victim);
+  }
+  // Built under the lock: assembly is O(n^2) matrix stamping, cheap next
+  // to the O(n^3) factorizations, which happen later in the solver cache
+  // *outside* any lock here.
+  auto model = std::make_shared<const thermal::RCModel>(soc.flp, soc.package);
+  models_.emplace(key, CachedModel{model, ++use_counter_});
+  ++stats_.model_misses;
+  return model;
+}
+
+ScenarioRunner::Stats ScenarioRunner::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+ScenarioResult ScenarioRunner::run(const ScenarioRequest& request) {
+  ScenarioResult result;
+  result.id = request.id;
+  try {
+    const core::SocSpec soc = build_soc(request.soc);
+    const auto model = model_for(request.soc, soc);
+    result.soc_name = soc.name;
+    result.cores = soc.core_count();
+
+    core::StclSweepConfig config;
+    config.scheduler.temperature_limit = request.tl;
+    config.scheduler.weight_factor = request.weight_factor;
+    config.scheduler.solo_policy = request.solo_policy;
+    config.scheduler.core_order = request.core_order;
+    config.scheduler.model.stc_scale = request.stc_scale > 0.0
+                                           ? request.stc_scale
+                                           : auto_stc_scale(request.soc.kind);
+    config.analyzer.dt = request.solver.dt;
+    config.analyzer.transient = request.solver.transient;
+    // threads = 1: runs inline on this thread — serve already fans
+    // *requests* across a pool, so per-request point loops stay serial.
+    config.threads = 1;
+
+    result.points = core::sweep_stcl(soc, model, request.stcl.values(), config);
+    for (const core::StclSweepPoint& point : result.points) {
+      result.simulation_effort += point.simulation_effort;
+    }
+    result.ok = true;
+  } catch (const Error& e) {
+    result.ok = false;
+    result.error = e.what();
+    result.points.clear();
+    result.simulation_effort = 0.0;
+  }
+  return result;
+}
+
+}  // namespace thermo::scenario

@@ -1,0 +1,106 @@
+// ScenarioRunner: lowers parsed ScenarioRequests onto the scheduling
+// stack (SoC construction -> shared RCModel -> ThermalAwareScheduler per
+// STCL value) and renders machine-readable result records.
+//
+// Model sharing is the whole point of running scenarios through one
+// runner instead of one process each: every request whose SocSelector
+// has the same geometry_key() gets the *same* shared RCModel instance,
+// so the solver cache (keyed by RCModel::identity(), see
+// thermal/solver_cache.hpp) factors each distinct floorplan once per
+// batch no matter how many requests — or worker threads — reference it.
+// A 100-request Alpha batch performs one Cholesky factorization, not
+// 100.
+//
+// Thread safety: run() is safe to call concurrently (the model cache is
+// mutex-guarded; each run builds private analyzers/schedulers), which is
+// how serve_stream fans requests across a sweep::ScenarioSweep pool.
+// Per-request failures — bad .flp paths, scheduler throws — are captured
+// in the result record (`ok:false` + the error message); run() itself
+// only propagates non-thermo exceptions (e.g. bad_alloc).
+//
+// Determinism: a result record depends only on the request content,
+// never on thread interleaving or cache state, so a batch's output is
+// bit-identical for 1 and N threads (pinned by the serve smoke test and
+// bench_serve).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/soc_spec.hpp"
+#include "core/stcl_sweep.hpp"
+#include "scenario/request.hpp"
+#include "thermal/rc_model.hpp"
+
+namespace thermo::scenario {
+
+/// Result record for one request; serialized as one JSONL line by
+/// to_json (schema in docs/SERVE.md). Points are the same
+/// core::StclSweepPoint the `thermosched sweep` path produces — the
+/// runner lowers onto core::sweep_stcl rather than reimplementing it.
+struct ScenarioResult {
+  std::string id;
+  bool ok = false;
+  std::string error;     ///< set when !ok
+  std::string soc_name;  ///< empty when the SoC could not be built
+  std::size_t cores = 0;
+  /// One point per STCL value, in request order.
+  std::vector<core::StclSweepPoint> points;
+  /// Total simulated seconds across all points — the paper's effort
+  /// metric, and the deterministic "timing" field of the record (wall
+  /// time would break 1-vs-N-thread reproducibility; serve reports it
+  /// separately in its stderr summary).
+  double simulation_effort = 0.0;
+};
+
+/// Serializes a result record (canonical member order, deterministic).
+JsonValue to_json(const ScenarioResult& result);
+
+class ScenarioRunner {
+ public:
+  ScenarioRunner() = default;
+
+  /// Executes one request: builds (or reuses) the SoC's RCModel, runs
+  /// Algorithm 1 once per STCL value, returns the filled record. Thermo
+  /// errors land in the record instead of propagating.
+  ScenarioResult run(const ScenarioRequest& request);
+
+  /// Builds the SocSpec a selector describes (validated; power_scale
+  /// applied). Throws on invalid selectors, e.g. unreadable .flp files.
+  static core::SocSpec build_soc(const SocSelector& selector);
+
+  /// The shared model for a selector's geometry, built on first use.
+  /// `soc` must be the selector's build_soc result.
+  std::shared_ptr<const thermal::RCModel> model_for(
+      const SocSelector& selector, const core::SocSpec& soc);
+
+  struct Stats {
+    std::size_t model_hits = 0;    ///< requests that reused a cached model
+    std::size_t model_misses = 0;  ///< model builds (distinct geometries + re-builds after eviction)
+  };
+  Stats stats() const;
+
+  /// Cached-model bound. Like ThermalSolverCache, the cache is capped
+  /// so a long-lived runner fed ever-new geometries (synthetic seeds,
+  /// .flp paths) cannot grow memory monotonically; the least recently
+  /// used geometry is evicted and simply rebuilt if it returns.
+  static constexpr std::size_t kMaxCachedModels = 64;
+
+ private:
+  struct CachedModel {
+    std::shared_ptr<const thermal::RCModel> model;
+    std::uint64_t last_used = 0;  ///< LRU stamp (monotonic use counter)
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, CachedModel> models_;
+  std::uint64_t use_counter_ = 0;
+  Stats stats_;
+};
+
+}  // namespace thermo::scenario

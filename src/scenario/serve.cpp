@@ -1,0 +1,87 @@
+#include "scenario/serve.hpp"
+
+#include <chrono>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sweep/scenario_sweep.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace thermo::scenario {
+
+namespace {
+
+struct InputLine {
+  std::string text;
+  std::size_t number = 0;  ///< 1-based line number in the input stream
+};
+
+struct LineOutcome {
+  std::string record;  ///< serialized JSONL result line
+  int ok = 0;          ///< int, not bool: vector<bool> slots race (sweep)
+};
+
+LineOutcome process_line(const InputLine& line, ScenarioRunner& runner) {
+  ScenarioResult result;
+  try {
+    ScenarioRequest request = parse_request_line(line.text);
+    if (request.id.empty()) {
+      request.id = "line-" + std::to_string(line.number);
+    }
+    result = runner.run(request);
+  } catch (const Error& e) {
+    // Malformed JSON or an invalid request body: the record carries the
+    // parser's message; the rest of the batch is unaffected.
+    result.id = "line-" + std::to_string(line.number);
+    result.ok = false;
+    result.error = e.what();
+  }
+  return LineOutcome{to_json(result).dump(), result.ok ? 1 : 0};
+}
+
+}  // namespace
+
+ServeSummary serve_stream(std::istream& in, std::ostream& out,
+                          ScenarioRunner& runner, const ServeOptions& options) {
+  std::vector<InputLine> lines;
+  std::string raw;
+  std::size_t number = 0;
+  while (std::getline(in, raw)) {
+    ++number;
+    if (!raw.empty() && raw.back() == '\r') raw.pop_back();  // CRLF input
+    if (trim(raw).empty()) continue;
+    lines.push_back(InputLine{raw, number});
+  }
+
+  sweep::SweepOptions sweep_options;
+  sweep_options.threads = options.threads;
+  const sweep::ScenarioSweep sweeper(sweep_options);
+
+  const auto start = std::chrono::steady_clock::now();
+  const std::vector<LineOutcome> outcomes = sweeper.map(
+      lines.size(),
+      [&](std::size_t i) { return process_line(lines[i], runner); });
+  const auto stop = std::chrono::steady_clock::now();
+
+  ServeSummary summary;
+  summary.requests = lines.size();
+  summary.threads = sweeper.thread_count();
+  summary.wall_seconds =
+      std::chrono::duration<double>(stop - start).count();
+  for (const LineOutcome& outcome : outcomes) {
+    out << outcome.record << '\n';
+    if (outcome.ok != 0) {
+      ++summary.succeeded;
+    } else {
+      ++summary.failed;
+    }
+  }
+  summary.runner = runner.stats();
+  return summary;
+}
+
+}  // namespace thermo::scenario

@@ -1,0 +1,47 @@
+// The batch front-end behind `thermosched serve`: stream JSONL scenario
+// requests (one JSON object per line) through a ScenarioRunner, fanned
+// across a sweep::ScenarioSweep thread pool, and write one JSONL result
+// record per request *in input order*.
+//
+// Contract (docs/SERVE.md):
+//   * line i of the output answers line i of the input (blank lines are
+//     skipped and produce no record);
+//   * a malformed or invalid request line yields an `ok:false` record in
+//     its slot — one bad request never aborts the batch;
+//   * requests without an "id" are assigned "line-<input line number>";
+//   * the output bytes are identical for any thread count (results are
+//     written slot-per-index; every record is a pure function of its
+//     request line).
+// Wall-clock timing lives in the returned summary, NOT in the records —
+// that is what keeps them reproducible.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+
+#include "scenario/runner.hpp"
+
+namespace thermo::scenario {
+
+struct ServeOptions {
+  /// Worker threads; 0 picks std::thread::hardware_concurrency.
+  std::size_t threads = 0;
+};
+
+struct ServeSummary {
+  std::size_t requests = 0;   ///< non-blank input lines
+  std::size_t succeeded = 0;  ///< records with ok:true
+  std::size_t failed = 0;     ///< parse failures + runner errors
+  std::size_t threads = 0;    ///< workers actually used
+  double wall_seconds = 0.0;  ///< end-to-end batch time
+  ScenarioRunner::Stats runner;  ///< model-cache hits/misses
+};
+
+/// Reads every line of `in`, processes the batch, writes the records to
+/// `out` (one line each, input order). The runner is borrowed so callers
+/// can serve several batches against one warm model cache.
+ServeSummary serve_stream(std::istream& in, std::ostream& out,
+                          ScenarioRunner& runner,
+                          const ServeOptions& options = {});
+
+}  // namespace thermo::scenario

@@ -1,7 +1,24 @@
-// Random synthetic SoCs for property testing and scaling studies:
-// a random slicing floorplan plus test powers drawn so that power
-// densities spread over roughly an order of magnitude (the situation
-// that motivates thermal-aware scheduling).
+// Random synthetic SoCs for property testing, scaling studies, and
+// synthetic serve scenarios: a random slicing floorplan
+// (floorplan::make_slicing_floorplan) whose blocks get test powers
+// drawn so that power *densities* spread over roughly an order of
+// magnitude — the heterogeneity that motivates thermal-aware scheduling
+// in the first place (a power-constrained scheduler treats 2 W in a
+// small hot block and 2 W in a large cool block identically; the
+// thermal model does not).
+//
+// Densities are drawn log-uniformly between the min/max bounds, so
+// small hot blocks and large cool blocks are both common, mirroring
+// real SoCs. Test lengths default to a uniform 1 s (schedule length ==
+// session count, the paper's convention); widen the length range for
+// ragged-session studies.
+//
+// Determinism: the SoC is a pure function of the Rng state and options.
+// The floorplan is generated *before* any power/length draw, so two
+// calls with equal seeds and equal geometry options (core_count, chip
+// dimensions) produce identical floorplans even when the power bounds
+// differ — scenario::ScenarioRunner relies on exactly this to share one
+// RC model across power corners (see SocSelector::geometry_key()).
 #pragma once
 
 #include "core/soc_spec.hpp"
@@ -19,7 +36,10 @@ struct SyntheticOptions {
   double test_length_max = 1.0;    ///< s (set > min for ragged sessions)
 };
 
-/// Generates a valid SocSpec; deterministic for a given RNG state.
+/// Generates a valid, validate()-clean SocSpec named
+/// "synthetic-<core_count>" with the default thermal package.
+/// Deterministic for a given RNG state (see file comment). Throws
+/// InvalidArgument when a range is empty/non-positive or core_count is 0.
 core::SocSpec make_synthetic_soc(Rng& rng, const SyntheticOptions& options = {});
 
 }  // namespace thermo::soc

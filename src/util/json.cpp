@@ -1,0 +1,477 @@
+#include "util/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace thermo {
+
+namespace {
+
+[[noreturn]] void type_mismatch(const char* wanted, const char* got) {
+  throw InvalidArgument(std::string("JSON value is not ") + wanted +
+                        " (it is " + got + ")");
+}
+
+}  // namespace
+
+JsonValue JsonValue::null() { return JsonValue{}; }
+
+JsonValue JsonValue::boolean(bool value) {
+  JsonValue v;
+  v.type_ = Type::kBool;
+  v.bool_ = value;
+  return v;
+}
+
+JsonValue JsonValue::number(double value) {
+  JsonValue v;
+  v.type_ = Type::kNumber;
+  v.number_ = value;
+  return v;
+}
+
+JsonValue JsonValue::string(std::string value) {
+  JsonValue v;
+  v.type_ = Type::kString;
+  v.string_ = std::move(value);
+  return v;
+}
+
+JsonValue JsonValue::array() {
+  JsonValue v;
+  v.type_ = Type::kArray;
+  return v;
+}
+
+JsonValue JsonValue::object() {
+  JsonValue v;
+  v.type_ = Type::kObject;
+  return v;
+}
+
+const char* JsonValue::type_name() const {
+  switch (type_) {
+    case Type::kNull: return "null";
+    case Type::kBool: return "bool";
+    case Type::kNumber: return "number";
+    case Type::kString: return "string";
+    case Type::kArray: return "array";
+    case Type::kObject: return "object";
+  }
+  return "?";
+}
+
+bool JsonValue::as_bool() const {
+  if (type_ != Type::kBool) type_mismatch("a bool", type_name());
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  if (type_ != Type::kNumber) type_mismatch("a number", type_name());
+  return number_;
+}
+
+const std::string& JsonValue::as_string() const {
+  if (type_ != Type::kString) type_mismatch("a string", type_name());
+  return string_;
+}
+
+std::size_t JsonValue::size() const {
+  if (type_ == Type::kArray) return items_.size();
+  if (type_ == Type::kObject) return members_.size();
+  return 0;
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  if (type_ != Type::kArray) type_mismatch("an array", type_name());
+  return items_;
+}
+
+void JsonValue::append(JsonValue value) {
+  if (type_ != Type::kArray) type_mismatch("an array", type_name());
+  items_.push_back(std::move(value));
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::members()
+    const {
+  if (type_ != Type::kObject) type_mismatch("an object", type_name());
+  return members_;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [name, value] : members_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+void JsonValue::set(std::string key, JsonValue value) {
+  if (type_ != Type::kObject) type_mismatch("an object", type_name());
+  for (auto& [name, existing] : members_) {
+    if (name == key) {
+      existing = std::move(value);
+      return;
+    }
+  }
+  members_.emplace_back(std::move(key), std::move(value));
+}
+
+// --- serialization ---
+
+std::string format_json_number(double value) {
+  THERMO_REQUIRE(std::isfinite(value),
+                 "JSON cannot represent a non-finite number");
+  char buf[32];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, value);
+  THERMO_ENSURE(ec == std::errc{}, "to_chars failed on a finite double");
+  return std::string(buf, end);
+}
+
+namespace {
+
+void dump_string(const std::string& s, std::string& out) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;  // UTF-8 bytes pass through untouched
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+void JsonValue::dump_to(std::string& out) const {
+  switch (type_) {
+    case Type::kNull:
+      out += "null";
+      break;
+    case Type::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Type::kNumber:
+      out += format_json_number(number_);
+      break;
+    case Type::kString:
+      dump_string(string_, out);
+      break;
+    case Type::kArray: {
+      out += '[';
+      bool first = true;
+      for (const JsonValue& item : items_) {
+        if (!first) out += ',';
+        first = false;
+        item.dump_to(out);
+      }
+      out += ']';
+      break;
+    }
+    case Type::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [key, value] : members_) {
+        if (!first) out += ',';
+        first = false;
+        dump_string(key, out);
+        out += ':';
+        value.dump_to(out);
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string JsonValue::dump() const {
+  std::string out;
+  dump_to(out);
+  return out;
+}
+
+// --- parsing ---
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    skip_whitespace();
+    JsonValue v = parse_value(0);
+    skip_whitespace();
+    if (pos_ != text_.size()) fail("trailing characters after JSON value");
+    return v;
+  }
+
+ private:
+  /// Nesting cap: malicious/degenerate inputs like "[[[[..." would
+  /// otherwise overflow the parser's own call stack.
+  static constexpr std::size_t kMaxDepth = 128;
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw ParseError("json: line " + std::to_string(line_) + ", column " +
+                     std::to_string(column_) + ": " + message);
+  }
+
+  bool at_end() const { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+
+  char advance() {
+    const char c = text_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  void skip_whitespace() {
+    while (!at_end()) {
+      const char c = peek();
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      advance();
+    }
+  }
+
+  void expect(char c, const char* context) {
+    if (at_end() || peek() != c) {
+      fail(std::string("expected '") + c + "' " + context);
+    }
+    advance();
+  }
+
+  bool consume_literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    for (std::size_t i = 0; i < word.size(); ++i) advance();
+    return true;
+  }
+
+  JsonValue parse_value(std::size_t depth) {
+    if (depth > kMaxDepth) fail("nesting depth exceeds 128");
+    if (at_end()) fail("unexpected end of input");
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': return JsonValue::string(parse_string());
+      case 't':
+        if (consume_literal("true")) return JsonValue::boolean(true);
+        fail("invalid literal (expected 'true')");
+      case 'f':
+        if (consume_literal("false")) return JsonValue::boolean(false);
+        fail("invalid literal (expected 'false')");
+      case 'n':
+        if (consume_literal("null")) return JsonValue::null();
+        fail("invalid literal (expected 'null')");
+      default:
+        if (c == '-' || (c >= '0' && c <= '9')) return parse_number();
+        fail(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  JsonValue parse_object(std::size_t depth) {
+    advance();  // '{'
+    JsonValue obj = JsonValue::object();
+    skip_whitespace();
+    if (!at_end() && peek() == '}') {
+      advance();
+      return obj;
+    }
+    while (true) {
+      skip_whitespace();
+      if (at_end() || peek() != '"') fail("expected '\"' to start object key");
+      std::string key = parse_string();
+      if (obj.find(key) != nullptr) {
+        fail("duplicate object key '" + key + "'");
+      }
+      skip_whitespace();
+      expect(':', "after object key");
+      skip_whitespace();
+      obj.set(std::move(key), parse_value(depth + 1));
+      skip_whitespace();
+      if (at_end()) fail("unterminated object (expected ',' or '}')");
+      if (peek() == ',') {
+        advance();
+        continue;
+      }
+      expect('}', "to close object");
+      return obj;
+    }
+  }
+
+  JsonValue parse_array(std::size_t depth) {
+    advance();  // '['
+    JsonValue arr = JsonValue::array();
+    skip_whitespace();
+    if (!at_end() && peek() == ']') {
+      advance();
+      return arr;
+    }
+    while (true) {
+      skip_whitespace();
+      arr.append(parse_value(depth + 1));
+      skip_whitespace();
+      if (at_end()) fail("unterminated array (expected ',' or ']')");
+      if (peek() == ',') {
+        advance();
+        continue;
+      }
+      expect(']', "to close array");
+      return arr;
+    }
+  }
+
+  std::string parse_string() {
+    advance();  // '"'
+    std::string out;
+    while (true) {
+      if (at_end()) fail("unterminated string");
+      const char c = advance();
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("raw control character in string (use \\u escapes)");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (at_end()) fail("unterminated escape sequence");
+      const char esc = advance();
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': append_unicode_escape(out); break;
+        default:
+          fail(std::string("invalid escape character '") + esc + "'");
+      }
+    }
+  }
+
+  unsigned parse_hex4() {
+    unsigned value = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (at_end()) fail("unterminated \\u escape");
+      const char c = advance();
+      value <<= 4;
+      if (c >= '0' && c <= '9') value |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') value |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') value |= static_cast<unsigned>(c - 'A' + 10);
+      else fail("invalid hex digit in \\u escape");
+    }
+    return value;
+  }
+
+  void append_unicode_escape(std::string& out) {
+    unsigned code = parse_hex4();
+    if (code >= 0xD800 && code <= 0xDBFF) {
+      // High surrogate: a low surrogate must follow for a code point
+      // outside the basic multilingual plane.
+      if (at_end() || peek() != '\\') fail("unpaired surrogate in \\u escape");
+      advance();
+      if (at_end() || peek() != 'u') fail("unpaired surrogate in \\u escape");
+      advance();
+      const unsigned low = parse_hex4();
+      if (low < 0xDC00 || low > 0xDFFF) {
+        fail("unpaired surrogate in \\u escape");
+      }
+      code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+    } else if (code >= 0xDC00 && code <= 0xDFFF) {
+      fail("unpaired surrogate in \\u escape");
+    }
+    // UTF-8 encode.
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xC0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else if (code < 0x10000) {
+      out += static_cast<char>(0xE0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (code >> 18));
+      out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    // Validate the strict JSON grammar by hand before handing the span
+    // to from_chars (which is more permissive, e.g. about "inf").
+    if (!at_end() && peek() == '-') advance();
+    if (at_end() || peek() < '0' || peek() > '9') {
+      fail("invalid number (expected a digit)");
+    }
+    if (peek() == '0') {
+      advance();  // no leading zeros: "0" may not be followed by digits
+    } else {
+      while (!at_end() && peek() >= '0' && peek() <= '9') advance();
+    }
+    if (!at_end() && peek() == '.') {
+      advance();
+      if (at_end() || peek() < '0' || peek() > '9') {
+        fail("invalid number (expected a digit after '.')");
+      }
+      while (!at_end() && peek() >= '0' && peek() <= '9') advance();
+    }
+    if (!at_end() && (peek() == 'e' || peek() == 'E')) {
+      advance();
+      if (!at_end() && (peek() == '+' || peek() == '-')) advance();
+      if (at_end() || peek() < '0' || peek() > '9') {
+        fail("invalid number (expected a digit in exponent)");
+      }
+      while (!at_end() && peek() >= '0' && peek() <= '9') advance();
+    }
+    const std::string_view span = text_.substr(start, pos_ - start);
+    double value = 0.0;
+    const auto [end, ec] =
+        std::from_chars(span.data(), span.data() + span.size(), value);
+    if (ec != std::errc{} || end != span.data() + span.size() ||
+        !std::isfinite(value)) {
+      fail("number out of range");
+    }
+    return JsonValue::number(value);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  std::size_t column_ = 1;
+};
+
+}  // namespace
+
+JsonValue parse_json(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace thermo

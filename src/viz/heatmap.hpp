@@ -1,5 +1,14 @@
 // Text and SVG renderers for floorplans and thermal fields: quick
-// eyeballing of hot spots without external tooling.
+// eyeballing of hot spots without external tooling. Consumes only
+// floorplan geometry plus a per-block (or per-cell) value vector, so it
+// renders anything block-shaped — temperatures, power densities,
+// scheduler weights — and sits at the bottom of the layer DAG next to
+// floorplan.
+//
+// All three renderers are pure functions of their inputs (no global
+// state, nothing written to disk), returning the finished document as a
+// string; callers decide where it goes (`thermosched simulate` prints
+// the ASCII map, examples/thermal_map.cpp writes the SVG).
 #pragma once
 
 #include <string>
@@ -10,29 +19,41 @@
 namespace thermo::viz {
 
 /// Renders a row-major cell-temperature field (rows x cols, row 0 at the
-/// bottom, printed top-down) as an ASCII heat map using the ramp
-/// " .:-=+*#%@" between min and max.
+/// bottom, printed top-down — matching the floorplan's lower-left-origin
+/// convention) as an ASCII heat map using the 10-step ramp " .:-=+*#%@"
+/// linearly scaled between the field's min and max. A constant field
+/// renders as all-minimum. Throws InvalidArgument unless cells.size()
+/// == rows * cols.
 std::string ascii_heatmap(const std::vector<double>& cells, std::size_t rows,
                           std::size_t cols);
 
-/// Renders per-block values on a floorplan as an ASCII map sampled onto
-/// a character raster of the given width (height follows aspect ratio).
+/// Renders per-block values on a floorplan as an ASCII map: the die
+/// bounding box is sampled onto a character raster of the given width
+/// (height follows the die aspect ratio, halved to compensate for
+/// terminal cells being ~2x taller than wide), each sample taking the
+/// ramp character of the block containing it. Gaps between blocks
+/// render as spaces. Throws InvalidArgument unless block_values.size()
+/// matches the floorplan.
 std::string ascii_block_map(const floorplan::Floorplan& fp,
                             const std::vector<double>& block_values,
                             std::size_t width = 48);
 
 struct SvgOptions {
   double scale = 40000.0;  ///< pixels per metre (16 mm die -> 640 px)
-  bool show_names = true;
-  bool show_values = true;
+  bool show_names = true;  ///< block name label per block
+  bool show_values = true; ///< numeric value appended to the label
   /// Colour range; when lo == hi the range is taken from the data.
+  /// Fixing it makes colours comparable across frames (e.g. the same
+  /// schedule at two TL values).
   double range_lo = 0.0;
   double range_hi = 0.0;
 };
 
-/// Renders the floorplan as an SVG document, colouring each block by its
-/// value (blue = cool, red = hot). Block values may be temperatures,
-/// power densities, weights...
+/// Renders the floorplan as a standalone SVG document, colouring each
+/// block by its value on a blue -> cyan -> yellow -> red ramp (cool to
+/// hot). Block values may be temperatures, power densities, weights...
+/// Throws InvalidArgument unless block_values.size() matches the
+/// floorplan.
 std::string svg_floorplan(const floorplan::Floorplan& fp,
                           const std::vector<double>& block_values,
                           const SvgOptions& options = {});
