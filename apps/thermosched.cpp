@@ -40,6 +40,7 @@
 #include "scenario/serve.hpp"
 #include "soc/alpha.hpp"
 #include "thermal/analyzer.hpp"
+#include "thermal/backend.hpp"
 #include "thermal/solver_cache.hpp"
 #include "util/cli.hpp"
 #include "util/error.hpp"
@@ -72,7 +73,20 @@ struct CommonArgs {
   // serve-only knobs
   std::string in_path = "-";
   std::string out_path = "-";
+  // schedule/sweep/serve: thermal solver backend (docs/SOLVERS.md)
+  std::string solver_backend = "auto";
 };
+
+/// "dense" | "sparse" | "auto" -> SolverBackend; anything else is a
+/// usage error (exit 2), matching the scenario layer's wording.
+thermal::SolverBackend parse_solver_backend(const std::string& name) {
+  const auto backend = thermal::solver_backend_from_name(name);
+  if (!backend) {
+    throw InvalidArgument("unknown solver backend '" + name +
+                          "' (expected 'dense', 'sparse', or 'auto')");
+  }
+  return *backend;
+}
 
 void print_global_usage(std::ostream& out) {
   out << "usage: thermosched <command> [options]\n"
@@ -80,20 +94,26 @@ void print_global_usage(std::ostream& out) {
          "commands:\n"
          "  schedule  Run Algorithm 1, print the thermal-safe schedule\n"
          "            [--flp PATH --density D | --alpha] [--tl C] [--stcl S]\n"
-         "            [--stc-scale X] [--csv]\n"
+         "            [--stc-scale X] [--solver-backend B] [--csv]\n"
          "  simulate  Simulate one test session through the RC oracle\n"
          "            --cores a,b,c [--flp PATH --density D | --alpha] [--csv]\n"
          "  sweep     Algorithm 1 once per STCL value, across a thread pool\n"
          "            [--stcl-min S] [--stcl-max S] [--step S] [--threads N]\n"
          "            [--flp PATH --density D | --alpha] [--tl C]\n"
-         "            [--stc-scale X] [--csv]\n"
+         "            [--stc-scale X] [--solver-backend B] [--csv]\n"
          "  serve     Stream JSONL scenario requests -> JSONL results\n"
          "            (schema: docs/SERVE.md; deterministic for any thread\n"
          "            count)  [--in PATH|-] [--out PATH|-] [--threads N]\n"
+         "            [--solver-backend B]\n"
          "  info      Floorplan statistics\n"
          "            [--flp PATH --density D | --alpha] [--csv]\n"
          "\n"
          "`thermosched <command> --help` lists that command's options.\n"
+         "\n"
+         "--solver-backend picks the thermal factorization: 'dense',\n"
+         "'sparse', or 'auto' (default; by node count — docs/SOLVERS.md).\n"
+         "For serve it is the batch default; a request's explicit\n"
+         "solver.backend field always wins.\n"
          "\n"
          "exit codes: 0 success; 1 runtime error (bad input file, scheduler\n"
          "failure); 2 usage error (unknown command/flag, malformed value).\n";
@@ -122,7 +142,9 @@ double stc_scale_for(const CommonArgs& args) {
 
 int cmd_schedule(const CommonArgs& args) {
   const core::SocSpec soc = build_soc(args);
-  thermal::ThermalAnalyzer analyzer(soc.flp, soc.package);
+  thermal::ThermalAnalyzer::Options analyzer_options;
+  analyzer_options.backend = parse_solver_backend(args.solver_backend);
+  thermal::ThermalAnalyzer analyzer(soc.flp, soc.package, analyzer_options);
   core::ThermalSchedulerOptions options;
   options.temperature_limit = args.tl;
   options.stc_limit = args.stcl;
@@ -190,6 +212,7 @@ int cmd_sweep(const CommonArgs& args) {
 
   core::StclSweepConfig config;
   config.threads = static_cast<std::size_t>(std::max(0LL, args.threads));
+  config.analyzer.backend = parse_solver_backend(args.solver_backend);
   config.scheduler.temperature_limit = args.tl;
   config.scheduler.model.stc_scale = stc_scale_for(args);
   config.scheduler.solo_policy = core::SoloViolationPolicy::kRaiseLimit;
@@ -248,6 +271,7 @@ int cmd_serve(const CommonArgs& args) {
   scenario::ScenarioRunner runner;
   scenario::ServeOptions options;
   options.threads = static_cast<std::size_t>(std::max(0LL, args.threads));
+  options.default_backend = parse_solver_backend(args.solver_backend);
   const scenario::ServeSummary summary =
       scenario::serve_stream(in, out, runner, options);
   // A full disk or closed pipe must be a runtime error, not a silent
@@ -360,9 +384,21 @@ int main(int argc, char** argv) {
     cli.add_int("threads", "Worker threads, 0 = all hardware threads",
                 &args.threads);
   }
+  if (is_schedule || is_sweep || is_serve) {
+    cli.add_string("solver-backend",
+                   "Thermal solver backend: dense, sparse, or auto "
+                   "(default auto; serve: batch default, an explicit "
+                   "solver.backend in a request wins)",
+                   &args.solver_backend);
+  }
 
   try {
     if (!cli.parse(argc - 1, argv + 1)) return kExitOk;  // --help
+    // A malformed backend value is a usage error like any other
+    // malformed flag value, so validate it before the command runs.
+    if (is_schedule || is_sweep || is_serve) {
+      parse_solver_backend(args.solver_backend);
+    }
   } catch (const Error& e) {
     std::cerr << "error: " << e.what() << '\n';
     return kExitUsageError;

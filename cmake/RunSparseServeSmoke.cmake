@@ -1,0 +1,67 @@
+# Large-SoC sparse-backend serve smoke: a batch of >=1000-thermal-node
+# synthetic requests with {"solver": {"backend": "sparse"}} must (a)
+# succeed end to end through `thermosched serve`, (b) produce
+# byte-identical results for 1 and 4 worker threads (the sparse LDLt
+# path must be as deterministic as the dense one), and (c) answer every
+# request ok:true.
+#
+# The four requests share one 1024-core geometry (1034 thermal nodes)
+# across two power corners and both oracle modes, so the batch also
+# exercises cross-thread sharing of one sparse factorization.
+#
+# Usage: cmake -DSERVE_BIN=<thermosched> -DWORK_DIR=<scratch dir>
+#              -P RunSparseServeSmoke.cmake
+if(NOT SERVE_BIN OR NOT WORK_DIR)
+  message(FATAL_ERROR "SERVE_BIN and WORK_DIR must be set")
+endif()
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(requests "${WORK_DIR}/requests_sparse.jsonl")
+set(out1 "${WORK_DIR}/results_sparse_t1.jsonl")
+set(outN "${WORK_DIR}/results_sparse_t4.jsonl")
+
+set(soc "\"soc\":{\"kind\":\"synthetic\",\"seed\":7,\"cores\":1024,\"test_length_min\":0.02,\"test_length_max\":0.02")
+file(WRITE "${requests}"
+  "{\"id\":\"sparse-steady-1.0\",${soc}},\"tl\":400,\"stcl\":120,\"solver\":{\"transient\":false,\"backend\":\"sparse\"}}\n"
+  "{\"id\":\"sparse-steady-1.1\",${soc},\"power_scale\":1.1},\"tl\":400,\"stcl\":120,\"solver\":{\"transient\":false,\"backend\":\"sparse\"}}\n"
+  "{\"id\":\"sparse-transient-1.0\",${soc}},\"tl\":400,\"stcl\":120,\"solver\":{\"dt\":0.002,\"backend\":\"sparse\"}}\n"
+  "{\"id\":\"sparse-transient-1.1\",${soc},\"power_scale\":1.1},\"tl\":400,\"stcl\":120,\"solver\":{\"dt\":0.002,\"backend\":\"sparse\"}}\n")
+
+foreach(pair "1;${out1}" "4;${outN}")
+  list(GET pair 0 threads)
+  list(GET pair 1 outfile)
+  execute_process(
+    COMMAND "${SERVE_BIN}" serve --in "${requests}" --out "${outfile}"
+            --threads ${threads}
+    OUTPUT_VARIABLE serve_out
+    ERROR_VARIABLE serve_err
+    RESULT_VARIABLE serve_rc)
+  if(NOT serve_rc EQUAL 0)
+    message(FATAL_ERROR
+      "serve --threads ${threads} exited with ${serve_rc}\n${serve_err}")
+  endif()
+endforeach()
+
+file(READ "${out1}" results_1)
+file(READ "${outN}" results_n)
+if(results_1 STREQUAL "")
+  message(FATAL_ERROR "sparse serve smoke produced an empty results file")
+endif()
+if(NOT results_1 STREQUAL results_n)
+  message(FATAL_ERROR
+    "sparse-backend serve output differs between --threads 1 and "
+    "--threads 4 (${out1} vs ${outN}) — the sparse path lost determinism")
+endif()
+string(REGEX MATCHALL "\n" newlines "${results_1}")
+list(LENGTH newlines line_count)
+if(NOT line_count EQUAL 4)
+  message(FATAL_ERROR "expected 4 result records, got ${line_count}")
+endif()
+string(REGEX MATCHALL "\"ok\":true" oks "${results_1}")
+list(LENGTH oks ok_count)
+if(NOT ok_count EQUAL 4)
+  message(FATAL_ERROR
+    "expected 4 ok:true records, got ${ok_count}:\n${results_1}")
+endif()
+message(STATUS
+  "sparse serve smoke OK: 4 x 1034-node sparse requests, "
+  "1-vs-4-thread results identical")

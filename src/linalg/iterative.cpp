@@ -37,8 +37,9 @@ IterativeResult conjugate_gradient(const SparseMatrix& a, const Vector& b,
   Vector p = z;
   double rz = dot(r, z);
 
+  Vector ap;  // SpMV buffer reused across iterations (multiply_into)
   for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
-    const Vector ap = a.multiply(p);
+    a.multiply_into(p, ap);
     const double p_ap = dot(p, ap);
     if (p_ap <= 0.0) {
       throw NumericalError("CG: matrix is not positive definite");
@@ -121,8 +122,9 @@ IterativeResult jacobi(const SparseMatrix& a, const Vector& b,
   }
 
   Vector next(n);
+  Vector ax;  // SpMV buffer reused across iterations (multiply_into)
   for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
-    const Vector ax = a.multiply(result.solution);
+    a.multiply_into(result.solution, ax);
     for (std::size_t i = 0; i < n; ++i) {
       next[i] = result.solution[i] + (b[i] - ax[i]) / diag[i];
     }

@@ -66,8 +66,15 @@ SparseMatrix SparseMatrix::from_dense(const DenseMatrix& dense, double drop_tol)
 }
 
 Vector SparseMatrix::multiply(const Vector& x) const {
+  Vector y;
+  multiply_into(x, y);
+  return y;
+}
+
+void SparseMatrix::multiply_into(const Vector& x, Vector& y) const {
   THERMO_REQUIRE(x.size() == cols_, "sparse multiply: dimension mismatch");
-  Vector y(rows_, 0.0);
+  THERMO_REQUIRE(&x != &y, "sparse multiply: x and y must not alias");
+  y.resize(rows_);
   for (std::size_t r = 0; r < rows_; ++r) {
     double sum = 0.0;
     for (std::size_t k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k) {
@@ -75,7 +82,6 @@ Vector SparseMatrix::multiply(const Vector& x) const {
     }
     y[r] = sum;
   }
-  return y;
 }
 
 double SparseMatrix::at(std::size_t row, std::size_t col) const {

@@ -45,6 +45,12 @@ class SparseMatrix {
   /// y = A x.
   Vector multiply(const Vector& x) const;
 
+  /// y = A x into a caller-owned buffer (resized to rows()). The
+  /// allocation-free fast path the iterative solvers and the sparse
+  /// simulation backend share: one SpMV per CG iteration / RK stage
+  /// with no per-call vector churn.
+  void multiply_into(const Vector& x, Vector& y) const;
+
   /// Entry lookup (binary search within the row); 0 if absent.
   double at(std::size_t row, std::size_t col) const;
 

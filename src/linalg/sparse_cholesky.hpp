@@ -1,0 +1,96 @@
+// Sparse Cholesky factorization (LDLᵗ variant) for symmetric positive-
+// definite systems in CSR form — the sparse-backend counterpart of
+// cholesky.hpp.
+//
+// Thermal conductance matrices have ~5 off-diagonals per die row plus a
+// handful of package rows that touch every die block. Because the
+// package nodes are numbered LAST (see thermal/rc_model.hpp), natural
+// ordering keeps their fill confined to the trailing rows of L: the die
+// lattice factors with bandwidth-bounded fill and the ten package
+// columns stay dense, so nnz(L) grows like n·(bandwidth + 10) instead
+// of n²/2. No fill-reducing ordering is applied (an AMD pass is a
+// ROADMAP item); the node numbering the thermal layer produces is
+// already the good case.
+//
+// Preconditions and cost (docs/SOLVERS.md "Choosing a backend"):
+//  * the input must be symmetric positive definite. Symmetry is NOT
+//    verified (only the lower triangle, col <= row, is read); a
+//    non-positive pivot is detected during factorization and reported
+//    as NumericalError.
+//  * factorization is O(Σ |col j of L|²) flops — for thermal networks
+//    effectively linear in n — versus n³/3 dense; each solve() is
+//    2·nnz(L) flops versus 2 n² dense.
+//  * the algorithm is the classic up-looking LDLᵗ over the elimination
+//    tree (symbolic pass computes the tree + column counts, numeric
+//    pass fills L column by column). A = L·D·Lᵗ with unit-lower L and
+//    diagonal D, so no square roots are taken; solve() is forward
+//    substitution, a diagonal scale, and back substitution.
+//  * solve() is const, deterministic, and thread-safe — the factor is
+//    shareable across sweep workers exactly like the dense factors
+//    (thermal::ThermalSolverCache caches both kinds under the same
+//    model identity).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/sparse.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace thermo::linalg {
+
+class SparseCholeskyFactor {
+ public:
+  /// Factors A = L D Lᵗ. Throws InvalidArgument when A is not square,
+  /// NumericalError when A is not (numerically) positive definite.
+  /// Only the lower triangle of A (col <= row) is read.
+  explicit SparseCholeskyFactor(const SparseMatrix& a);
+
+  std::size_t size() const { return n_; }
+
+  /// Strictly-lower-triangular non-zeros of L (the unit diagonal is
+  /// implicit). Exposed so benches/tests can report fill.
+  std::size_t factor_nonzeros() const { return values_.size(); }
+
+  /// Solves A x = b (forward + diagonal + backward substitution;
+  /// reusable, thread-safe).
+  Vector solve(const Vector& b) const;
+
+ private:
+  std::size_t n_ = 0;
+  // L in compressed-sparse-column form, strictly lower triangle, row
+  // indices increasing within each column (the natural order in which
+  // the up-looking algorithm emits them).
+  std::vector<std::size_t> col_offsets_;  // size n_ + 1
+  std::vector<std::size_t> row_indices_;
+  std::vector<double> values_;
+  std::vector<double> diag_;  // D
+};
+
+/// Backward-Euler stepper for the linear constant-coefficient system
+///     C dy/dt = b - G y
+/// with diagonal capacitance C and SPARSE SPD G: factors (C/dt + G)
+/// once with SparseCholeskyFactor and back-substitutes per step. The
+/// sparse-backend counterpart of LinearImplicitStepper (linalg/ode.hpp)
+/// with the same step() semantics; step() is const and thread-safe.
+class SparseImplicitStepper {
+ public:
+  /// Factors (C/dt + G); dt must be > 0, capacitance entries > 0, and
+  /// G square, SPD, with capacitance.size() == G rows.
+  SparseImplicitStepper(const SparseMatrix& g, const Vector& capacitance,
+                        double dt);
+
+  double dt() const { return dt_; }
+  std::size_t size() const { return capacitance_.size(); }
+  const SparseCholeskyFactor& factor() const { return factor_; }
+
+  /// Advances one step: returns y(t + dt) given y(t) and constant rhs b.
+  Vector step(const Vector& y, const Vector& b) const;
+
+ private:
+  Vector capacitance_;
+  double dt_;
+  SparseCholeskyFactor factor_;
+};
+
+}  // namespace thermo::linalg

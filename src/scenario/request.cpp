@@ -234,6 +234,17 @@ const char* core_order_name(core::CoreOrder order) {
   return "?";
 }
 
+thermal::SolverBackend parse_backend(const JsonValue& v,
+                                     const std::string& path) {
+  const std::string name = require_string(v, path);
+  const auto backend = thermal::solver_backend_from_name(name);
+  if (!backend) {
+    fail(path, "unknown backend '" + name +
+                   "' (expected 'dense', 'sparse', or 'auto')");
+  }
+  return *backend;
+}
+
 SolverSpec parse_solver(const JsonValue& v) {
   if (!v.is_object()) {
     fail("solver", std::string("expected an object, got ") + v.type_name());
@@ -245,6 +256,9 @@ SolverSpec parse_solver(const JsonValue& v) {
       solver.dt = positive_number(value, path);
     } else if (key == "transient") {
       solver.transient = require_bool(value, path);
+    } else if (key == "backend") {
+      solver.backend = parse_backend(value, path);
+      solver.backend_explicit = true;
     } else {
       fail("solver", "unknown field '" + key + "'");
     }
@@ -371,6 +385,8 @@ JsonValue to_json(const ScenarioRequest& request) {
   JsonValue solver = JsonValue::object();
   solver.set("dt", JsonValue::number(request.solver.dt));
   solver.set("transient", JsonValue::boolean(request.solver.transient));
+  solver.set("backend", JsonValue::string(thermal::solver_backend_name(
+                            request.solver.backend)));
   out.set("solver", std::move(solver));
   return out;
 }

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "core/thermal_scheduler.hpp"
+#include "thermal/backend.hpp"
 #include "util/json.hpp"
 
 namespace thermo::scenario {
@@ -94,6 +95,13 @@ struct StclSpan {
 struct SolverSpec {
   double dt = 1e-3;       ///< backward-Euler step [s]
   bool transient = true;  ///< false = steady-state (faster, pessimistic)
+  /// Factor representation: dense, sparse, or auto by node count
+  /// (thermal/backend.hpp; docs/SOLVERS.md "Choosing a backend").
+  thermal::SolverBackend backend = thermal::SolverBackend::kAuto;
+  /// True when the request JSON named `solver.backend` explicitly.
+  /// serve's `--solver-backend` batch default applies only to requests
+  /// that left it out (mirrors the "id"/"line-<n>" assignment rule).
+  bool backend_explicit = false;
 };
 
 struct ScenarioRequest {

@@ -140,6 +140,7 @@ ScenarioResult ScenarioRunner::run(const ScenarioRequest& request) {
                                            : auto_stc_scale(request.soc.kind);
     config.analyzer.dt = request.solver.dt;
     config.analyzer.transient = request.solver.transient;
+    config.analyzer.backend = request.solver.backend;
     // threads = 1: runs inline on this thread — serve already fans
     // *requests* across a pool, so per-request point loops stay serial.
     config.threads = 1;

@@ -25,12 +25,16 @@ struct LineOutcome {
   int ok = 0;          ///< int, not bool: vector<bool> slots race (sweep)
 };
 
-LineOutcome process_line(const InputLine& line, ScenarioRunner& runner) {
+LineOutcome process_line(const InputLine& line, ScenarioRunner& runner,
+                         const ServeOptions& options) {
   ScenarioResult result;
   try {
     ScenarioRequest request = parse_request_line(line.text);
     if (request.id.empty()) {
       request.id = "line-" + std::to_string(line.number);
+    }
+    if (!request.solver.backend_explicit) {
+      request.solver.backend = options.default_backend;
     }
     result = runner.run(request);
   } catch (const Error& e) {
@@ -64,7 +68,7 @@ ServeSummary serve_stream(std::istream& in, std::ostream& out,
   const auto start = std::chrono::steady_clock::now();
   const std::vector<LineOutcome> outcomes = sweeper.map(
       lines.size(),
-      [&](std::size_t i) { return process_line(lines[i], runner); });
+      [&](std::size_t i) { return process_line(lines[i], runner, options); });
   const auto stop = std::chrono::steady_clock::now();
 
   ServeSummary summary;

@@ -20,12 +20,17 @@
 #include <iosfwd>
 
 #include "scenario/runner.hpp"
+#include "thermal/backend.hpp"
 
 namespace thermo::scenario {
 
 struct ServeOptions {
   /// Worker threads; 0 picks std::thread::hardware_concurrency.
   std::size_t threads = 0;
+  /// Batch-level solver backend applied to every request whose JSON did
+  /// not name `solver.backend` itself (a request's explicit choice
+  /// always wins) — what `thermosched serve --solver-backend` sets.
+  thermal::SolverBackend default_backend = thermal::SolverBackend::kAuto;
 };
 
 struct ServeSummary {

@@ -34,6 +34,7 @@ SessionSimulation ThermalAnalyzer::simulate_session(
   if (options_.transient) {
     TransientOptions topt;
     topt.dt = options_.dt;
+    topt.backend = options_.backend;
     const TransientResult result = simulate_transient(
         *model_, block_power, duration, ambient_state(*model_), topt);
     out.peak_temperature.assign(
@@ -57,7 +58,9 @@ SessionSimulation ThermalAnalyzer::simulate_session(
 
 std::vector<double> ThermalAnalyzer::steady_block_temperatures(
     const std::vector<double>& block_power) const {
-  const SteadyStateResult result = solve_steady_state(*model_, block_power);
+  SteadyStateOptions sopt;
+  sopt.backend = options_.backend;
+  const SteadyStateResult result = solve_steady_state(*model_, block_power, sopt);
   return std::vector<double>(
       result.temperature.begin(),
       result.temperature.begin() +
@@ -73,6 +76,7 @@ ThermalAnalyzer::Chained ThermalAnalyzer::simulate_session_from(
 
   TransientOptions topt;
   topt.dt = options_.dt;
+  topt.backend = options_.backend;
   const TransientResult result =
       simulate_transient(*model_, block_power, duration, initial_state, topt);
 
@@ -104,6 +108,7 @@ std::vector<double> ThermalAnalyzer::cool_down(
   if (gap == 0.0) return state;
   TransientOptions topt;
   topt.dt = options_.dt;
+  topt.backend = options_.backend;
   const TransientResult result = simulate_transient(
       *model_, std::vector<double>(model_->block_count(), 0.0), gap, state,
       topt);

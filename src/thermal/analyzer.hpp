@@ -35,6 +35,10 @@ class ThermalAnalyzer {
     /// actual duration; when false, steady-state temperatures are used
     /// as a (faster, more pessimistic) oracle.
     bool transient = true;
+    /// Factor representation for every solve this analyzer performs
+    /// (backend.hpp): dense, sparse, or — the default — picked by the
+    /// model's node count.
+    SolverBackend backend = SolverBackend::kAuto;
   };
 
   ThermalAnalyzer(const floorplan::Floorplan& fp, const PackageParams& package);

@@ -1,0 +1,27 @@
+#include "thermal/backend.hpp"
+
+namespace thermo::thermal {
+
+const char* solver_backend_name(SolverBackend backend) {
+  switch (backend) {
+    case SolverBackend::kDense: return "dense";
+    case SolverBackend::kSparse: return "sparse";
+    case SolverBackend::kAuto: return "auto";
+  }
+  return "?";
+}
+
+std::optional<SolverBackend> solver_backend_from_name(std::string_view name) {
+  if (name == "dense") return SolverBackend::kDense;
+  if (name == "sparse") return SolverBackend::kSparse;
+  if (name == "auto") return SolverBackend::kAuto;
+  return std::nullopt;
+}
+
+SolverBackend resolve_backend(SolverBackend requested, std::size_t node_count) {
+  if (requested != SolverBackend::kAuto) return requested;
+  return node_count >= kSparseBackendCrossover ? SolverBackend::kSparse
+                                               : SolverBackend::kDense;
+}
+
+}  // namespace thermo::thermal

@@ -1,0 +1,62 @@
+// SolverBackend: which matrix representation the thermal oracle solves
+// through.
+//
+// Every thermal solve in this repo is "factor a fixed SPD matrix once,
+// back-substitute per right-hand side" (docs/SOLVERS.md). The *backend*
+// picks the representation of that factorization:
+//
+//  * kDense  — dense Cholesky/LU factors (linalg/cholesky.hpp, lu.hpp).
+//    Best constants at block-level sizes (tens to a few hundred nodes).
+//  * kSparse — sparse LDLᵗ factors over the model's CSR conductance
+//    matrix (linalg/sparse_cholesky.hpp). Factor cost drops from n³/3
+//    to effectively linear in n, per-solve from 2 n² to 2·nnz(L); the
+//    only choice that scales to thousands of thermal nodes.
+//  * kAuto   — resolves per model by node count against
+//    kSparseBackendCrossover. The default everywhere: small SoCs keep
+//    the dense path (and its bit-exact historical results), large ones
+//    get the sparse path transparently.
+//
+// Determinism: resolution depends only on the requested backend and the
+// node count, and both backends factor and solve with serial,
+// fixed-order arithmetic — results are bit-identical across thread
+// counts for a given backend. Dense and sparse results agree to a
+// documented RELATIVE tolerance of 1e-9 on the well-conditioned systems
+// the thermal layer produces (pinned by tests/thermal_backend_test.cpp),
+// not bitwise: the two factorizations order the arithmetic differently.
+//
+// bench/bench_backend.cpp measures both backends across growing grids,
+// writes BENCH_backend.json, and locates the empirical crossover that
+// kSparseBackendCrossover encodes.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string_view>
+
+namespace thermo::thermal {
+
+enum class SolverBackend {
+  kDense,   ///< dense factors (default below the crossover)
+  kSparse,  ///< sparse LDLᵗ factors (default at and above the crossover)
+  kAuto     ///< pick by node count (kSparseBackendCrossover)
+};
+
+/// Canonical spelling used in JSON/CLI ("dense", "sparse", "auto").
+const char* solver_backend_name(SolverBackend backend);
+
+/// Inverse of solver_backend_name; nullopt for anything else. Callers
+/// (CLI flag, scenario request parser) own their error reporting, so
+/// the name list lives in exactly one place.
+std::optional<SolverBackend> solver_backend_from_name(std::string_view name);
+
+/// Node count at and above which kAuto resolves to kSparse. Chosen from
+/// bench_backend measurements: below a few hundred nodes the dense
+/// factors' contiguous back-substitution wins on constants; above it
+/// the sparse factor wins on both factor and per-step cost.
+inline constexpr std::size_t kSparseBackendCrossover = 256;
+
+/// Resolves kAuto against the model size; kDense/kSparse pass through.
+/// Never returns kAuto.
+SolverBackend resolve_backend(SolverBackend requested, std::size_t node_count);
+
+}  // namespace thermo::thermal

@@ -98,6 +98,27 @@ std::shared_ptr<const linalg::LinearImplicitStepper> ThermalSolverCache::stepper
   return std::static_pointer_cast<const linalg::LinearImplicitStepper>(value);
 }
 
+std::shared_ptr<const linalg::SparseCholeskyFactor>
+ThermalSolverCache::sparse_cholesky(const RCModel& model) {
+  auto value = lookup(Key{model.identity(), 0, 3}, [&] {
+    return std::shared_ptr<const void>(
+        std::make_shared<const linalg::SparseCholeskyFactor>(
+            model.conductance_sparse()));
+  });
+  return std::static_pointer_cast<const linalg::SparseCholeskyFactor>(value);
+}
+
+std::shared_ptr<const linalg::SparseImplicitStepper>
+ThermalSolverCache::sparse_stepper(const RCModel& model, double dt) {
+  THERMO_REQUIRE(dt > 0.0, "solver cache: dt must be positive");
+  auto value = lookup(Key{model.identity(), bits_of(dt), 4}, [&] {
+    return std::shared_ptr<const void>(
+        std::make_shared<const linalg::SparseImplicitStepper>(
+            model.conductance_sparse(), model.capacitance(), dt));
+  });
+  return std::static_pointer_cast<const linalg::SparseImplicitStepper>(value);
+}
+
 void ThermalSolverCache::invalidate(const RCModel& model) {
   std::scoped_lock lock(mutex_);
   for (auto it = entries_.begin(); it != entries_.end();) {

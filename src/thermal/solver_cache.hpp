@@ -8,7 +8,10 @@
 // G once (n^3/3 flops) and back-substituting per solve (2 n^2) turns
 // the steady-state hot path from cubic to quadratic; the transient
 // backward-Euler system matrix (C/dt + G) gets the same treatment per
-// (model, dt) pair. docs/SOLVERS.md has the full cost model.
+// (model, dt) pair. Each factor exists in a dense and a sparse flavour
+// (SolverBackend, backend.hpp) cached as separate entries; the sparse
+// LDLᵗ flavour drops both costs to ~linear in n on RC networks.
+// docs/SOLVERS.md has the full cost model.
 //
 // Keying: RCModel::identity() is process-unique per *construction*, so
 // a rebuilt model (changed floorplan or package) can never alias a
@@ -25,7 +28,7 @@
 // ScenarioSweep::run additionally pre-warms the needed keys before the
 // fan-out so workers start on cache hits. Entries are evicted
 // least-recently-used beyond `capacity()` to bound memory (a dense
-// factor is n^2 doubles).
+// factor is n^2 doubles; a sparse one nnz(L) + n).
 #pragma once
 
 #include <cstddef>
@@ -38,6 +41,7 @@
 #include "linalg/cholesky.hpp"
 #include "linalg/lu.hpp"
 #include "linalg/ode.hpp"
+#include "linalg/sparse_cholesky.hpp"
 #include "thermal/rc_model.hpp"
 
 namespace thermo::thermal {
@@ -61,6 +65,17 @@ class ThermalSolverCache {
   /// dt key is the exact bit pattern — two dts compare equal iff their
   /// doubles are identical.
   std::shared_ptr<const linalg::LinearImplicitStepper> stepper(
+      const RCModel& model, double dt);
+
+  /// Sparse LDLᵗ factor of G (the SolverBackend::kSparse steady path).
+  /// Cached under the same RCModel::identity() keying as the dense
+  /// factors — invalidate(model) drops both kinds together.
+  std::shared_ptr<const linalg::SparseCholeskyFactor> sparse_cholesky(
+      const RCModel& model);
+
+  /// Sparse backward-Euler stepper for (C/dt + G), keyed by (model, dt)
+  /// exactly like stepper() — the SolverBackend::kSparse transient path.
+  std::shared_ptr<const linalg::SparseImplicitStepper> sparse_stepper(
       const RCModel& model, double dt);
 
   /// Drops every entry belonging to `model` (all kinds, all dts).
@@ -88,7 +103,8 @@ class ThermalSolverCache {
   struct Key {
     std::uint64_t model = 0;
     std::uint64_t dt_bits = 0;  // 0 for the steady-state factors
-    int kind = 0;               // 0 = cholesky, 1 = lu, 2 = stepper
+    int kind = 0;  // 0 = cholesky, 1 = lu, 2 = stepper,
+                   // 3 = sparse cholesky, 4 = sparse stepper
     bool operator<(const Key& other) const;
   };
   struct Entry {

@@ -11,14 +11,31 @@ namespace thermo::thermal {
 SteadyStateResult solve_steady_state(const RCModel& model,
                                      const std::vector<double>& block_power,
                                      SteadySolver solver) {
+  SteadyStateOptions options;
+  options.solver = solver;
+  return solve_steady_state(model, block_power, options);
+}
+
+SteadyStateResult solve_steady_state(const RCModel& model,
+                                     const std::vector<double>& block_power,
+                                     const SteadyStateOptions& options) {
   const std::vector<double> power = model.expand_power(block_power);
 
   SteadyStateResult result;
-  switch (solver) {
+  switch (options.solver) {
     case SteadySolver::kCholesky:
       // Factor-cached: G is fixed per model, only the power vector
-      // changes across calls (see solver_cache.hpp).
-      result.rise = ThermalSolverCache::instance().cholesky(model)->solve(power);
+      // changes across calls (see solver_cache.hpp). The backend picks
+      // the factor representation; both are cached under the model's
+      // identity.
+      if (resolve_backend(options.backend, model.node_count()) ==
+          SolverBackend::kSparse) {
+        result.rise =
+            ThermalSolverCache::instance().sparse_cholesky(model)->solve(power);
+      } else {
+        result.rise =
+            ThermalSolverCache::instance().cholesky(model)->solve(power);
+      }
       break;
     case SteadySolver::kLu:
       result.rise = ThermalSolverCache::instance().lu(model)->solve(power);

@@ -11,20 +11,33 @@
 // The Cholesky and LU paths are factor-cached: G is fixed per RCModel,
 // so repeated solves on the same model reuse its factorization through
 // ThermalSolverCache (solver_cache.hpp) and cost only two triangular
-// substitutions. docs/SOLVERS.md explains how to choose between the
-// three solvers and when the cache applies (it never does for CG).
+// substitutions. The Cholesky path additionally honours a SolverBackend
+// (backend.hpp): kDense keeps the dense factor, kSparse factors the
+// model's CSR matrix instead (linalg/sparse_cholesky.hpp), and kAuto —
+// the default — picks by node count. docs/SOLVERS.md explains how to
+// choose between the solvers/backends and when the cache applies (it
+// never does for CG).
 #pragma once
 
 #include <vector>
 
+#include "thermal/backend.hpp"
 #include "thermal/rc_model.hpp"
 
 namespace thermo::thermal {
 
 enum class SteadySolver {
-  kCholesky,      ///< dense Cholesky (default; exact, fine up to ~2k nodes)
-  kLu,            ///< dense LU (reference / cross-check)
-  kConjugateGradient  ///< sparse Jacobi-preconditioned CG (large floorplans)
+  kCholesky,      ///< Cholesky, dense or sparse per SolverBackend (default)
+  kLu,            ///< dense LU (reference / cross-check; ignores the backend)
+  kConjugateGradient  ///< Jacobi-preconditioned CG (iterative reference)
+};
+
+struct SteadyStateOptions {
+  SteadySolver solver = SteadySolver::kCholesky;
+  /// Factor representation for the kCholesky path; kLu is deliberately
+  /// dense-only (it exists as the cross-check of the default path) and
+  /// kConjugateGradient is inherently sparse.
+  SolverBackend backend = SolverBackend::kAuto;
 };
 
 struct SteadyStateResult {
@@ -38,7 +51,12 @@ struct SteadyStateResult {
 /// Throws NumericalError when the system cannot be solved.
 SteadyStateResult solve_steady_state(const RCModel& model,
                                      const std::vector<double>& block_power,
-                                     SteadySolver solver = SteadySolver::kCholesky);
+                                     const SteadyStateOptions& options = {});
+
+/// Solver-only convenience overload (backend stays kAuto).
+SteadyStateResult solve_steady_state(const RCModel& model,
+                                     const std::vector<double>& block_power,
+                                     SteadySolver solver);
 
 /// Maximum block temperature (die nodes only) of a steady-state result.
 double max_block_temperature(const RCModel& model,

@@ -55,25 +55,34 @@ TransientResult simulate_transient(const RCModel& model,
   if (options.integrator == TransientIntegrator::kBackwardEuler) {
     // The (C/dt + G) factor is shared through the solver cache: repeated
     // sessions on the same model at the same dt — Algorithm 1 validates
-    // thousands — pay the LU factorization once.
+    // thousands — pay the factorization once. The backend picks dense LU
+    // or sparse LDLᵗ; both stepper kinds share the same loop below.
     ThermalSolverCache& cache = ThermalSolverCache::instance();
-    const auto stepper = cache.stepper(model, options.dt);
-    double t = 0.0;
-    while (t < duration - 1e-15) {
-      const double step = std::min(options.dt, duration - t);
-      if (step < options.dt * (1.0 - 1e-12)) {
-        // Final fractional remainder: also cached, keyed by its own
-        // (model, step). Real workloads re-simulate the same durations
-        // (Algorithm 1 re-validates fixed-length sessions), so the
-        // remainder factor is reused; a burst of one-off durations at
-        // worst churns the LRU, it cannot grow the cache unboundedly.
-        state = cache.stepper(model, step)->step(state, power);
-      } else {
-        state = stepper->step(state, power);
+    const auto run_backward_euler = [&](const auto& stepper_for) {
+      const auto stepper = stepper_for(options.dt);
+      double t = 0.0;
+      while (t < duration - 1e-15) {
+        const double step = std::min(options.dt, duration - t);
+        if (step < options.dt * (1.0 - 1e-12)) {
+          // Final fractional remainder: also cached, keyed by its own
+          // (model, step). Real workloads re-simulate the same durations
+          // (Algorithm 1 re-validates fixed-length sessions), so the
+          // remainder factor is reused; a burst of one-off durations at
+          // worst churns the LRU, it cannot grow the cache unboundedly.
+          state = stepper_for(step)->step(state, power);
+        } else {
+          state = stepper->step(state, power);
+        }
+        t += step;
+        ++result.steps;
+        record(state);
       }
-      t += step;
-      ++result.steps;
-      record(state);
+    };
+    if (resolve_backend(options.backend, n) == SolverBackend::kSparse) {
+      run_backward_euler(
+          [&](double dt) { return cache.sparse_stepper(model, dt); });
+    } else {
+      run_backward_euler([&](double dt) { return cache.stepper(model, dt); });
     }
   } else {
     const auto& g = model.conductance();

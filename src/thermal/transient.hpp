@@ -12,14 +12,19 @@
 //
 // The backward-Euler system matrix (C/dt + G) is factor-cached per
 // (model, dt) through ThermalSolverCache (solver_cache.hpp): the first
-// simulated session pays the LU factorization, every later session on
-// the same model and step size pays only back-substitution per step.
-// docs/SOLVERS.md covers the cost model and solver trade-offs.
+// simulated session pays the factorization, every later session on the
+// same model and step size pays only back-substitution per step. The
+// factor representation follows TransientOptions::backend (backend.hpp):
+// dense LU below the kAuto crossover, sparse LDLᵗ above it — the sparse
+// path is what keeps per-step cost linear in the node count on
+// thousand-node SoCs. docs/SOLVERS.md covers the cost model and solver
+// trade-offs.
 #pragma once
 
 #include <functional>
 #include <vector>
 
+#include "thermal/backend.hpp"
 #include "thermal/rc_model.hpp"
 
 namespace thermo::thermal {
@@ -32,6 +37,9 @@ enum class TransientIntegrator {
 struct TransientOptions {
   double dt = 1e-3;  ///< step size [s]
   TransientIntegrator integrator = TransientIntegrator::kBackwardEuler;
+  /// Factor representation for the backward-Euler stepper (kRk4 is
+  /// matrix-free apart from the dense G product and ignores this).
+  SolverBackend backend = SolverBackend::kAuto;
   /// Optional per-step observer (t, absolute node temperatures).
   std::function<void(double, const std::vector<double>&)> observer;
 };

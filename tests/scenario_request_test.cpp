@@ -31,7 +31,8 @@ std::string normalize(const std::string& line) {
 constexpr const char* kDefaultGolden =
     R"({"id":"","soc":{"kind":"alpha","power_scale":1},"tl":155,"stcl":50,)"
     R"("stc_scale":0,"weight_factor":1.1,"solo_policy":"raise-limit",)"
-    R"("core_order":"desc-solo-tc","solver":{"dt":0.001,"transient":true}})";
+    R"("core_order":"desc-solo-tc",)"
+    R"("solver":{"dt":0.001,"transient":true,"backend":"auto"}})";
 
 TEST(ScenarioGolden, EmptyRequestNormalizesToDefaults) {
   EXPECT_EQ(normalize("{}"), kDefaultGolden);
@@ -46,6 +47,7 @@ TEST(ScenarioGolden, CanonicalFormIsAFixpoint) {
       R"("stcl":{"min":20,"max":100,"step":10}})",
       R"({"soc":{"kind":"flp","path":"chip.flp","density":500000},)"
       R"("solver":{"transient":false}})",
+      R"({"solver":{"backend":"sparse"}})",
   };
   for (const std::string& input : cases) {
     const std::string canon = normalize(input);
@@ -61,7 +63,8 @@ TEST(ScenarioGolden, SyntheticFullForm) {
       R"("power_density_max":2e+06,"test_length_min":1,"test_length_max":1,)"
       R"("power_scale":1},"tl":155,"stcl":50,"stc_scale":0,)"
       R"("weight_factor":1.1,"solo_policy":"raise-limit",)"
-      R"("core_order":"desc-solo-tc","solver":{"dt":0.001,"transient":true}})");
+      R"("core_order":"desc-solo-tc",)"
+      R"("solver":{"dt":0.001,"transient":true,"backend":"auto"}})");
 }
 
 TEST(ScenarioGolden, StclRangeKeepsObjectForm) {
@@ -77,7 +80,8 @@ TEST(ScenarioParse, FieldsAreApplied) {
       R"({"id":"x","soc":{"kind":"flp","path":"a.flp","density":2e6,)"
       R"("power_scale":1.5},"tl":140,"stcl":{"min":20,"max":60,"step":20},)"
       R"("stc_scale":0.01,"weight_factor":1.2,"solo_policy":"exclude",)"
-      R"("core_order":"desc-power","solver":{"dt":0.01,"transient":false}})");
+      R"("core_order":"desc-power",)"
+      R"("solver":{"dt":0.01,"transient":false,"backend":"sparse"}})");
   EXPECT_EQ(r.id, "x");
   EXPECT_EQ(r.soc.kind, SocKind::kFlp);
   EXPECT_EQ(r.soc.flp_path, "a.flp");
@@ -94,6 +98,25 @@ TEST(ScenarioParse, FieldsAreApplied) {
   EXPECT_EQ(r.core_order, core::CoreOrder::kDescendingPower);
   EXPECT_DOUBLE_EQ(r.solver.dt, 0.01);
   EXPECT_FALSE(r.solver.transient);
+  EXPECT_EQ(r.solver.backend, thermal::SolverBackend::kSparse);
+  EXPECT_TRUE(r.solver.backend_explicit);
+}
+
+TEST(ScenarioParse, BackendDefaultsToAutoAndTracksExplicitness) {
+  // Omitted: auto, and marked implicit so `thermosched serve
+  // --solver-backend` may substitute its batch default.
+  const ScenarioRequest omitted = parse_request_line("{}");
+  EXPECT_EQ(omitted.solver.backend, thermal::SolverBackend::kAuto);
+  EXPECT_FALSE(omitted.solver.backend_explicit);
+
+  // Named — even as "auto" — is explicit and must win over any default.
+  const ScenarioRequest named =
+      parse_request_line(R"({"solver":{"backend":"auto"}})");
+  EXPECT_EQ(named.solver.backend, thermal::SolverBackend::kAuto);
+  EXPECT_TRUE(named.solver.backend_explicit);
+  EXPECT_EQ(parse_request_line(R"({"solver":{"backend":"dense"}})")
+                .solver.backend,
+            thermal::SolverBackend::kDense);
 }
 
 // --- malformed input: the messages are part of the interface ---------
@@ -171,6 +194,11 @@ TEST(ScenarioValidation, EnumsAndSolver) {
             "scenario request: solver: unknown field 'fast'");
   EXPECT_EQ(validation_error_of(R"({"solver":{"transient":1}})"),
             "scenario request: solver.transient: expected a bool, got number");
+  EXPECT_EQ(validation_error_of(R"({"solver":{"backend":"cuda"}})"),
+            "scenario request: solver.backend: unknown backend 'cuda' "
+            "(expected 'dense', 'sparse', or 'auto')");
+  EXPECT_EQ(validation_error_of(R"({"solver":{"backend":true}})"),
+            "scenario request: solver.backend: expected a string, got bool");
 }
 
 TEST(ScenarioValidation, MalformedJsonIsAParseError) {
