@@ -16,10 +16,15 @@
 //             Options: --stcl-min, --stcl-max, --step, --threads,
 //             --flp/--density | --alpha, --tl, --stc-scale, --csv
 //   serve     Stream JSONL scenario requests through the scenario
-//             runner (src/scenario) and emit one JSONL result record
-//             per request; deterministic for any thread count. Schema:
-//             docs/SERVE.md.
-//             Options: --in PATH|-, --out PATH|-, --threads
+//             runner (src/scenario), executed by the dispatch engine
+//             (src/dispatch): cost-aware placement, duplicate-request
+//             memoization, streaming ordered output. Emits one JSONL
+//             result record per request; byte-deterministic for any
+//             thread count, schedule policy, and dedup setting.
+//             Schema: docs/SERVE.md.
+//             Options: --in PATH|-, --out PATH|-, --threads,
+//             --schedule-policy fifo|ljf, --dedup on|off,
+//             --summary-json PATH
 //   info      Print floorplan statistics (areas, adjacency, boundary
 //             exposure, power densities).
 //             Options: --flp PATH --density D | --alpha, --csv
@@ -36,6 +41,7 @@
 
 #include "core/stcl_sweep.hpp"
 #include "core/thermal_scheduler.hpp"
+#include "dispatch/work_queue.hpp"
 #include "floorplan/flp_io.hpp"
 #include "scenario/serve.hpp"
 #include "soc/alpha.hpp"
@@ -73,6 +79,9 @@ struct CommonArgs {
   // serve-only knobs
   std::string in_path = "-";
   std::string out_path = "-";
+  std::string schedule_policy = "fifo";
+  std::string dedup = "on";
+  std::string summary_json_path;
   // schedule/sweep/serve: thermal solver backend (docs/SOLVERS.md)
   std::string solver_backend = "auto";
 };
@@ -86,6 +95,25 @@ thermal::SolverBackend parse_solver_backend(const std::string& name) {
                           "' (expected 'dense', 'sparse', or 'auto')");
   }
   return *backend;
+}
+
+/// "fifo" | "ljf" -> SchedulePolicy; anything else is a usage error
+/// (exit 2) with this exact message (pinned by the serve smoke docs).
+dispatch::SchedulePolicy parse_schedule_policy(const std::string& name) {
+  const auto policy = dispatch::schedule_policy_from_name(name);
+  if (!policy) {
+    throw InvalidArgument("unknown schedule policy '" + name +
+                          "' (expected 'fifo' or 'ljf')");
+  }
+  return *policy;
+}
+
+/// "on" | "off" -> bool; anything else is a usage error (exit 2).
+bool parse_dedup(const std::string& value) {
+  if (value == "on") return true;
+  if (value == "off") return false;
+  throw InvalidArgument("invalid --dedup value '" + value +
+                        "' (expected 'on' or 'off')");
 }
 
 void print_global_usage(std::ostream& out) {
@@ -102,9 +130,11 @@ void print_global_usage(std::ostream& out) {
          "            [--flp PATH --density D | --alpha] [--tl C]\n"
          "            [--stc-scale X] [--solver-backend B] [--csv]\n"
          "  serve     Stream JSONL scenario requests -> JSONL results\n"
-         "            (schema: docs/SERVE.md; deterministic for any thread\n"
-         "            count)  [--in PATH|-] [--out PATH|-] [--threads N]\n"
-         "            [--solver-backend B]\n"
+         "            (schema: docs/SERVE.md; byte-deterministic for any\n"
+         "            thread count, policy, and dedup setting)\n"
+         "            [--in PATH|-] [--out PATH|-] [--threads N]\n"
+         "            [--schedule-policy fifo|ljf] [--dedup on|off]\n"
+         "            [--summary-json PATH] [--solver-backend B]\n"
          "  info      Floorplan statistics\n"
          "            [--flp PATH --density D | --alpha] [--csv]\n"
          "\n"
@@ -115,8 +145,19 @@ void print_global_usage(std::ostream& out) {
          "For serve it is the batch default; a request's explicit\n"
          "solver.backend field always wins.\n"
          "\n"
+         "serve scheduling (docs/SERVE.md \"Scheduling policy\"):\n"
+         "--schedule-policy orders execution starts — 'fifo' (default,\n"
+         "input order) or 'ljf' (longest-job-first by estimated cost;\n"
+         "cuts makespan on skewed batches). --dedup ('on' default)\n"
+         "memoizes result records by request content so duplicate\n"
+         "requests execute once. Neither changes the output bytes.\n"
+         "--summary-json writes per-batch execution stats (makespan,\n"
+         "tail latency, memo hit rate, per-request timings) to PATH.\n"
+         "\n"
          "exit codes: 0 success; 1 runtime error (bad input file, scheduler\n"
-         "failure); 2 usage error (unknown command/flag, malformed value).\n";
+         "failure, unwritable --out/--summary-json path); 2 usage error\n"
+         "(unknown command/flag, malformed value — including an unknown\n"
+         "--schedule-policy, --dedup, or --solver-backend value).\n";
 }
 
 core::SocSpec build_soc(const CommonArgs& args) {
@@ -272,6 +313,8 @@ int cmd_serve(const CommonArgs& args) {
   scenario::ServeOptions options;
   options.threads = static_cast<std::size_t>(std::max(0LL, args.threads));
   options.default_backend = parse_solver_backend(args.solver_backend);
+  options.policy = parse_schedule_policy(args.schedule_policy);
+  options.dedup = parse_dedup(args.dedup);
   const scenario::ServeSummary summary =
       scenario::serve_stream(in, out, runner, options);
   // A full disk or closed pipe must be a runtime error, not a silent
@@ -279,6 +322,23 @@ int cmd_serve(const CommonArgs& args) {
   out.flush();
   if (!out.good()) {
     throw Error("failed writing results to '" + args.out_path + "'");
+  }
+
+  // Per-batch execution stats (makespan, tail latency, memo hit rate,
+  // per-request timings) are summary-only — they may never enter the
+  // deterministic results stream, so they get their own file.
+  if (!args.summary_json_path.empty()) {
+    std::ofstream summary_file(args.summary_json_path);
+    if (!summary_file) {
+      throw Error("cannot open summary file '" + args.summary_json_path +
+                  "' for writing");
+    }
+    summary_file << scenario::serve_summary_to_json(summary).dump() << '\n';
+    summary_file.flush();
+    if (!summary_file.good()) {
+      throw Error("failed writing summary to '" + args.summary_json_path +
+                  "'");
+    }
   }
 
   // Summary goes to stderr: with --out -, stdout is the results stream
@@ -292,7 +352,11 @@ int cmd_serve(const CommonArgs& args) {
             << summary.succeeded << " ok, " << summary.failed << " failed) in "
             << format_double(summary.wall_seconds, 3) << " s on "
             << summary.threads << " threads (" << format_double(rate, 1)
-            << " req/s); models built " << summary.runner.model_misses
+            << " req/s, policy "
+            << dispatch::schedule_policy_name(summary.policy) << ", dedup "
+            << (summary.dedup ? "on" : "off") << "); memo hits "
+            << summary.memo_hits << "/" << summary.requests
+            << "; models built " << summary.runner.model_misses
             << ", reused " << summary.runner.model_hits << '\n';
   if (args.out_path == "-") return kExitOk;
   // A short confirmation so the smoke harness (non-empty stdout) and
@@ -379,6 +443,19 @@ int main(int argc, char** argv) {
   if (is_serve) {
     cli.add_string("in", "JSONL requests file, - = stdin", &args.in_path);
     cli.add_string("out", "JSONL results file, - = stdout", &args.out_path);
+    cli.add_string("schedule-policy",
+                   "Execution-start order: fifo (input order) or ljf "
+                   "(longest-job-first by estimated cost); output bytes "
+                   "are identical either way",
+                   &args.schedule_policy);
+    cli.add_string("dedup",
+                   "Memoize results by request content, on or off "
+                   "(duplicate requests execute once; output unchanged)",
+                   &args.dedup);
+    cli.add_string("summary-json",
+                   "Write per-batch execution stats (makespan, tail "
+                   "latency, memo hit rate, per-request timings) to PATH",
+                   &args.summary_json_path);
   }
   if (is_sweep || is_serve) {
     cli.add_int("threads", "Worker threads, 0 = all hardware threads",
@@ -394,10 +471,14 @@ int main(int argc, char** argv) {
 
   try {
     if (!cli.parse(argc - 1, argv + 1)) return kExitOk;  // --help
-    // A malformed backend value is a usage error like any other
-    // malformed flag value, so validate it before the command runs.
+    // A malformed backend/policy/dedup value is a usage error like any
+    // other malformed flag value, so validate it before the command runs.
     if (is_schedule || is_sweep || is_serve) {
       parse_solver_backend(args.solver_backend);
+    }
+    if (is_serve) {
+      parse_schedule_policy(args.schedule_policy);
+      parse_dedup(args.dedup);
     }
   } catch (const Error& e) {
     std::cerr << "error: " << e.what() << '\n';

@@ -1,0 +1,24 @@
+#include "dispatch/cost_model.hpp"
+
+#include <algorithm>
+
+namespace thermo::dispatch {
+
+double CostModel::estimate(const CostFeatures& features) const {
+  const double n = static_cast<double>(std::max<std::size_t>(features.nodes, 1));
+  const double solve_ops =
+      features.sparse ? constants_.sparse_ops_per_node * n
+                      : constants_.dense_ops_per_node_sq * n * n;
+  const double solves_per_call =
+      features.transient ? std::max(1.0, features.steps_per_call) : 1.0;
+  const double calls =
+      constants_.validations_per_core *
+      static_cast<double>(std::max<std::size_t>(features.cores, 1));
+  const double points =
+      static_cast<double>(std::max<std::size_t>(features.stcl_points, 1));
+  return constants_.per_request +
+         points * calls *
+             (solves_per_call * solve_ops + constants_.per_call_overhead);
+}
+
+}  // namespace thermo::dispatch

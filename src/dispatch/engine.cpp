@@ -1,0 +1,132 @@
+#include "dispatch/engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <ctime>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "sweep/thread_pool.hpp"
+#include "util/error.hpp"
+
+namespace thermo::dispatch {
+
+namespace {
+
+/// CPU seconds consumed by the calling thread; 0.0 where no per-thread
+/// clock exists. Process-wide clocks would charge one job for its
+/// neighbours' work, so they are not used as a fallback.
+double thread_cpu_seconds() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+  }
+#endif
+  return 0.0;
+}
+
+}  // namespace
+
+EngineStats run_batch(const std::vector<Job>& jobs,
+                      const std::function<std::string(std::size_t)>& execute,
+                      OrderedWriter& writer, const EngineOptions& options) {
+  const std::size_t n = jobs.size();
+  EngineStats stats;
+  stats.jobs = n;
+  stats.timings.resize(n);
+
+  // Dedup planning runs on the calling thread, before any worker
+  // starts: which jobs execute, which are answered from the memo, and
+  // which duplicate a leader is a pure function of the batch content —
+  // never of worker timing — so hit counts are deterministic.
+  ResultMemo local_memo;
+  ResultMemo* memo = options.memo != nullptr ? options.memo : &local_memo;
+  std::vector<std::vector<std::size_t>> duplicates(n);
+  std::vector<std::size_t> scheduled;
+  scheduled.reserve(n);
+  if (options.dedup) {
+    std::unordered_map<std::string_view, std::size_t> leader_by_key;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::string& key = jobs[i].memo_key;
+      if (key.empty()) {
+        scheduled.push_back(i);
+        continue;
+      }
+      if (auto cached = memo->find(key)) {
+        // Known from a previous batch: stream it out right away.
+        stats.timings[i].memo_hit = true;
+        ++stats.memo_hits;
+        writer.push(i, std::move(*cached));
+        continue;
+      }
+      const auto [it, inserted] = leader_by_key.emplace(key, i);
+      if (inserted) {
+        scheduled.push_back(i);
+      } else {
+        // Within-batch duplicate: ride on the leader's execution.
+        duplicates[it->second].push_back(i);
+        stats.timings[i].memo_hit = true;
+        ++stats.memo_hits;
+      }
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) scheduled.push_back(i);
+  }
+
+  WorkQueue queue(options.policy);
+  for (const std::size_t i : scheduled) queue.push(i, jobs[i].cost);
+  queue.seal();
+
+  const auto run_one = [&](std::size_t i) {
+    const auto wall_start = std::chrono::steady_clock::now();
+    const double cpu_start = thread_cpu_seconds();
+    std::string record = execute(i);
+    stats.timings[i].cpu_seconds = thread_cpu_seconds() - cpu_start;
+    stats.timings[i].wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+    if (options.dedup && !jobs[i].memo_key.empty()) {
+      memo->insert(jobs[i].memo_key, record);
+    }
+    for (const std::size_t dup : duplicates[i]) writer.push(dup, record);
+    writer.push(i, std::move(record));
+  };
+
+  const std::size_t threads = std::min(
+      scheduled.size(),
+      options.threads != 0
+          ? options.threads
+          : std::max<std::size_t>(1, std::thread::hardware_concurrency()));
+  stats.threads = threads;
+  const auto batch_start = std::chrono::steady_clock::now();
+  if (threads <= 1) {
+    while (const auto i = queue.pop()) run_one(*i);
+  } else {
+    // One task per worker pulling from the policy-ordered queue (same
+    // shared-counter shape as sweep::ScenarioSweep, but the pop ORDER
+    // is the policy's — under ljf a freed worker always takes the most
+    // expensive remaining job).
+    sweep::ThreadPool pool(threads);
+    for (std::size_t w = 0; w < threads; ++w) {
+      pool.submit([&] {
+        while (const auto i = queue.pop()) run_one(*i);
+      });
+    }
+    pool.wait_idle();  // rethrows the first execute exception, if any
+  }
+  stats.makespan_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    batch_start)
+          .count();
+  stats.executed = scheduled.size();
+  stats.max_buffered = writer.max_buffered();
+  writer.finish();
+  return stats;
+}
+
+}  // namespace thermo::dispatch

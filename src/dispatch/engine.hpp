@@ -1,0 +1,97 @@
+// The dispatch engine: cost-aware batch execution with result
+// memoization and streaming ordered output.
+//
+// This is the layer between a batch front-end (scenario::serve_stream)
+// and the raw worker pool (sweep::ThreadPool): the front-end describes
+// each job as {content address, estimated cost} plus a pure execute
+// function, and the engine owns *how* the batch runs —
+//
+//   placement   WorkQueue orders execution starts (fifo / ljf);
+//   dedup       jobs sharing a content address execute once: a prior
+//               batch's record is served from the ResultMemo, and
+//               within-batch duplicates are grouped behind one leader
+//               (deterministically, on the calling thread, so hit
+//               counts do not depend on worker timing);
+//   streaming   every record goes to the OrderedWriter the moment it
+//               exists, emitted in input order as soon as its index is
+//               next;
+//   timing      per-job wall + thread-CPU seconds and the batch
+//               makespan, for the serve summary and bench_dispatch.
+//
+// Hard invariant (pinned by tests + smoke + bench): because execute is
+// pure per job and records are placed by input index, the output bytes
+// are identical across thread counts, policies, and dedup on/off —
+// policies and memoization may only change *when* work runs, never what
+// is written.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "dispatch/ordered_writer.hpp"
+#include "dispatch/result_memo.hpp"
+#include "dispatch/work_queue.hpp"
+
+namespace thermo::dispatch {
+
+/// One unit of batch work, as the front-end describes it. The engine
+/// never inspects record contents; everything it needs is here.
+struct Job {
+  /// Content address: the canonical serialization of whatever the job
+  /// computes from — identical bytes MUST imply an identical record.
+  /// Empty = not memoizable (always executes, never enters the memo);
+  /// front-ends use that for records that depend on batch position,
+  /// e.g. parse failures carrying a line number.
+  std::string memo_key;
+  /// Estimated execution cost (CostModel units); only its ordering
+  /// matters, and only under SchedulePolicy::kLjf.
+  double cost = 0.0;
+};
+
+struct JobTiming {
+  double wall_seconds = 0.0;  ///< 0 for memoized jobs
+  double cpu_seconds = 0.0;   ///< executing thread's CPU time (0 where
+                              ///< the platform offers no thread clock)
+  bool memo_hit = false;      ///< record served without executing
+};
+
+struct EngineStats {
+  std::size_t jobs = 0;       ///< batch size
+  std::size_t executed = 0;   ///< jobs that actually ran
+  std::size_t memo_hits = 0;  ///< cross-batch memo hits + grouped dups
+  /// Workers that actually executed: the configured (or hardware)
+  /// count capped by the number of scheduled jobs — 0 when everything
+  /// was answered from the memo.
+  std::size_t threads = 0;
+  double makespan_seconds = 0.0;  ///< execution window (pops to last completion)
+  std::size_t max_buffered = 0;   ///< writer high-water mark (skew cost)
+  std::vector<JobTiming> timings; ///< index-aligned with the jobs
+};
+
+struct EngineOptions {
+  /// Worker threads; 0 picks std::thread::hardware_concurrency.
+  std::size_t threads = 0;
+  SchedulePolicy policy = SchedulePolicy::kFifo;
+  /// false disables ALL memoization (every job executes) — the output
+  /// bytes must not change, only the work done.
+  bool dedup = true;
+  /// Memo to consult/populate (borrowed), enabling dedup across
+  /// batches; nullptr uses a throwaway per-call memo (within-batch
+  /// dedup only).
+  ResultMemo* memo = nullptr;
+};
+
+/// Runs the batch: `execute(i)` must return job i's record and be safe
+/// to call concurrently with itself for distinct i (it is called at
+/// most once per job). Records stream to `writer` in index order;
+/// `writer` must be constructed for exactly jobs.size() records and is
+/// finish()ed before returning. Exceptions escaping execute propagate
+/// (first one wins) — front-ends that want per-job error records must
+/// catch inside execute.
+EngineStats run_batch(const std::vector<Job>& jobs,
+                      const std::function<std::string(std::size_t)>& execute,
+                      OrderedWriter& writer, const EngineOptions& options = {});
+
+}  // namespace thermo::dispatch

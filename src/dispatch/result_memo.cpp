@@ -1,0 +1,62 @@
+#include "dispatch/result_memo.hpp"
+
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace thermo::dispatch {
+
+std::uint64_t fnv1a64(std::string_view bytes) {
+  // FNV-1a 64: offset basis / prime per the reference parameters.
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+ResultMemo::ResultMemo(std::size_t capacity) : capacity_(capacity) {
+  THERMO_REQUIRE(capacity >= 1, "ResultMemo capacity must be >= 1");
+}
+
+std::optional<std::string> ResultMemo::find(std::string_view key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second.recency);
+  return it->second.record;
+}
+
+void ResultMemo::insert(std::string_view key, std::string record) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    // Racing duplicate executions produce identical bytes (the record is
+    // a pure function of the key's content); keep the first.
+    lru_.splice(lru_.begin(), lru_, it->second.recency);
+    return;
+  }
+  if (entries_.size() >= capacity_) {
+    entries_.erase(std::string_view(lru_.back()));
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  lru_.emplace_front(key);
+  entries_.emplace(std::string_view(lru_.front()),
+                   Entry{std::move(record), lru_.begin()});
+  ++stats_.insertions;
+}
+
+ResultMemo::Stats ResultMemo::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Stats out = stats_;
+  out.entries = entries_.size();
+  return out;
+}
+
+}  // namespace thermo::dispatch

@@ -1,0 +1,51 @@
+#include "dispatch/work_queue.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace thermo::dispatch {
+
+const char* schedule_policy_name(SchedulePolicy policy) {
+  switch (policy) {
+    case SchedulePolicy::kFifo: return "fifo";
+    case SchedulePolicy::kLjf: return "ljf";
+  }
+  return "?";
+}
+
+std::optional<SchedulePolicy> schedule_policy_from_name(std::string_view name) {
+  if (name == "fifo") return SchedulePolicy::kFifo;
+  if (name == "ljf") return SchedulePolicy::kLjf;
+  return std::nullopt;
+}
+
+WorkQueue::WorkQueue(SchedulePolicy policy) : policy_(policy) {}
+
+void WorkQueue::push(std::size_t index, double cost) {
+  THERMO_REQUIRE(!sealed_, "WorkQueue::push after seal()");
+  order_.push_back(Item{index, cost});
+}
+
+void WorkQueue::seal() {
+  THERMO_REQUIRE(!sealed_, "WorkQueue::seal called twice");
+  sealed_ = true;
+  if (policy_ == SchedulePolicy::kLjf) {
+    // stable_sort + the ascending-index tiebreak make the pop order a
+    // pure function of (costs, indices) — no dependence on push timing.
+    std::stable_sort(order_.begin(), order_.end(),
+                     [](const Item& a, const Item& b) {
+                       if (a.cost != b.cost) return a.cost > b.cost;
+                       return a.index < b.index;
+                     });
+  }
+}
+
+std::optional<std::size_t> WorkQueue::pop() {
+  THERMO_REQUIRE(sealed_, "WorkQueue::pop before seal()");
+  const std::size_t slot = next_.fetch_add(1, std::memory_order_relaxed);
+  if (slot >= order_.size()) return std::nullopt;
+  return order_[slot].index;
+}
+
+}  // namespace thermo::dispatch

@@ -1,0 +1,79 @@
+// WorkQueue: the policy-pluggable work placement of the dispatch layer.
+//
+// serve-style batches are wildly skewed — ROADMAP measured one
+// 1034-node sparse request at ~100× an Alpha request — so *which job a
+// freed worker picks next* decides the batch makespan. The queue owns
+// exactly that decision:
+//
+//  * kFifo — input order, today's historical behaviour: predictable,
+//    but a whale request near the end of the batch starts after all
+//    the small fry and sets the makespan almost by accident.
+//  * kLjf  — longest-job-first by estimated cost (CostModel units):
+//    the classic LPT heuristic for makespan on identical machines.
+//    Whales start first, small jobs backfill the other workers.
+//
+// The policy reorders *execution start* only. Result placement is by
+// input index (dispatch::OrderedWriter), so output bytes are identical
+// across policies — the hard serve invariant. bench_dispatch gates the
+// makespan win in CI.
+//
+// Usage: push() every job, seal() once, then pop() concurrently from
+// worker threads. pop() after seal() is a lock-free atomic fetch over a
+// frozen order (the same shared-counter idiom as sweep::ScenarioSweep).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+namespace thermo::dispatch {
+
+enum class SchedulePolicy {
+  kFifo,  ///< input order (historical serve behaviour)
+  kLjf    ///< longest-job-first by estimated cost
+};
+
+/// Canonical spelling used in CLI/JSON ("fifo", "ljf").
+const char* schedule_policy_name(SchedulePolicy policy);
+
+/// Inverse of schedule_policy_name; nullopt for anything else. Callers
+/// (the serve flag, bench) own their error reporting.
+std::optional<SchedulePolicy> schedule_policy_from_name(std::string_view name);
+
+class WorkQueue {
+ public:
+  explicit WorkQueue(SchedulePolicy policy = SchedulePolicy::kFifo);
+
+  SchedulePolicy policy() const { return policy_; }
+
+  /// Enqueues job `index` with its estimated cost. Only valid before
+  /// seal().
+  void push(std::size_t index, double cost);
+
+  /// Freezes the pop order: kFifo keeps insertion order, kLjf stable-
+  /// sorts by descending cost (ties broken by ascending index, so the
+  /// order — and therefore worker assignment under 1 thread — is fully
+  /// deterministic). Only valid once.
+  void seal();
+
+  /// Next job index, or nullopt when drained. Thread-safe after seal();
+  /// wait-free (one fetch_add per pop).
+  std::optional<std::size_t> pop();
+
+  std::size_t size() const { return order_.size(); }
+
+ private:
+  struct Item {
+    std::size_t index;
+    double cost;
+  };
+
+  SchedulePolicy policy_;
+  bool sealed_ = false;
+  std::vector<Item> order_;
+  std::atomic<std::size_t> next_{0};
+};
+
+}  // namespace thermo::dispatch

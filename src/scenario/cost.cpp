@@ -1,0 +1,55 @@
+#include "scenario/cost.hpp"
+
+#include "thermal/backend.hpp"
+#include "thermal/rc_model.hpp"
+
+namespace thermo::scenario {
+
+namespace {
+
+/// Block count guess for a `.flp` request: counting the real blocks
+/// would need file I/O per line. Mid-sized is the safe wrong answer —
+/// a misranked .flp job degrades ljf toward fifo, nothing more.
+constexpr std::size_t kFlpCoreGuess = 40;
+
+std::size_t estimated_cores(const SocSelector& soc) {
+  switch (soc.kind) {
+    case SocKind::kAlpha: return 15;
+    case SocKind::kFig1: return 7;
+    case SocKind::kSynthetic: return soc.synthetic.cores;
+    case SocKind::kFlp: return kFlpCoreGuess;
+  }
+  return kFlpCoreGuess;
+}
+
+double mean_test_length(const SocSelector& soc) {
+  if (soc.kind == SocKind::kSynthetic) {
+    return 0.5 * (soc.synthetic.test_length_min + soc.synthetic.test_length_max);
+  }
+  return 1.0;  // the named SoCs ship 1 s tests (docs/ARCHITECTURE.md)
+}
+
+}  // namespace
+
+dispatch::CostFeatures request_cost_features(const ScenarioRequest& request) {
+  dispatch::CostFeatures features;
+  features.cores = estimated_cores(request.soc);
+  features.nodes = features.cores + thermal::RCModel::kPackageNodes;
+  features.sparse =
+      thermal::resolve_backend(request.solver.backend, features.nodes) ==
+      thermal::SolverBackend::kSparse;
+  features.transient = request.solver.transient;
+  features.steps_per_call =
+      request.solver.transient
+          ? mean_test_length(request.soc) / request.solver.dt
+          : 0.0;
+  features.stcl_points = request.stcl.values().size();
+  return features;
+}
+
+double estimate_request_cost(const ScenarioRequest& request,
+                             const dispatch::CostModel& model) {
+  return model.estimate(request_cost_features(request));
+}
+
+}  // namespace thermo::scenario

@@ -1,0 +1,33 @@
+// Request → cost features: the scenario side of the dispatch layer's
+// CostModel. dispatch::CostFeatures is plain numbers on purpose; this
+// is the one place that knows how to read them off a ScenarioRequest
+// *without building the SoC* — estimation must cost microseconds, it
+// runs once per request line before any scheduling starts.
+//
+// Everything is derived from request fields alone:
+//   * node/core counts: exact for the named SoCs (alpha = 15 cores,
+//     fig1 = 7, + 10 package nodes — thermal::RCModel::kPackageNodes)
+//     and for synthetic (cores field); a `.flp` request would need file
+//     I/O to count blocks, so it gets a fixed moderate guess — a wrong
+//     guess only costs scheduling quality, never correctness;
+//   * backend: thermal::resolve_backend over the estimated node count,
+//     exactly the resolution the solve will use;
+//   * transient steps per oracle call: mean test length / dt (named
+//     SoCs ship 1 s tests; synthetic carries its length range);
+//   * STCL points: the span's expanded size.
+#pragma once
+
+#include "dispatch/cost_model.hpp"
+#include "scenario/request.hpp"
+
+namespace thermo::scenario {
+
+/// Cost features of one request (see file comment for the estimates).
+dispatch::CostFeatures request_cost_features(const ScenarioRequest& request);
+
+/// model.estimate(request_cost_features(request)) — the score the serve
+/// path feeds the ljf work queue.
+double estimate_request_cost(const ScenarioRequest& request,
+                             const dispatch::CostModel& model = {});
+
+}  // namespace thermo::scenario

@@ -1,13 +1,13 @@
 #include "scenario/serve.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <istream>
-#include <ostream>
 #include <string>
 #include <utility>
 #include <vector>
 
-#include "sweep/scenario_sweep.hpp"
+#include "scenario/cost.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
 
@@ -15,77 +15,213 @@ namespace thermo::scenario {
 
 namespace {
 
-struct InputLine {
-  std::string text;
-  std::size_t number = 0;  ///< 1-based line number in the input stream
+/// One non-blank input line after the parse pass: either a runnable
+/// request (id resolved, batch backend default applied) or a ready-made
+/// ok:false record. Parsing happens up front on the calling thread —
+/// the dispatch engine needs the canonical serialization (the memo's
+/// content address) and the cost estimate before placement, and a
+/// parse costs microseconds next to a scheduler run.
+struct PreparedLine {
+  bool valid = false;
+  ScenarioRequest request;    ///< when valid
+  std::string error_record;   ///< when !valid: the serialized record
+  std::string id;             ///< resolved id, for the timing summary
 };
 
-struct LineOutcome {
-  std::string record;  ///< serialized JSONL result line
-  int ok = 0;          ///< int, not bool: vector<bool> slots race (sweep)
-};
-
-LineOutcome process_line(const InputLine& line, ScenarioRunner& runner,
-                         const ServeOptions& options) {
-  ScenarioResult result;
+PreparedLine prepare_line(const std::string& text, std::size_t line_number,
+                          const ServeOptions& options) {
+  PreparedLine prepared;
   try {
-    ScenarioRequest request = parse_request_line(line.text);
-    if (request.id.empty()) {
-      request.id = "line-" + std::to_string(line.number);
+    prepared.request = parse_request_line(text);
+    if (prepared.request.id.empty()) {
+      prepared.request.id = "line-" + std::to_string(line_number);
     }
-    if (!request.solver.backend_explicit) {
-      request.solver.backend = options.default_backend;
+    if (!prepared.request.solver.backend_explicit) {
+      prepared.request.solver.backend = options.default_backend;
     }
-    result = runner.run(request);
+    prepared.id = prepared.request.id;
+    prepared.valid = true;
   } catch (const Error& e) {
     // Malformed JSON or an invalid request body: the record carries the
-    // parser's message; the rest of the batch is unaffected.
-    result.id = "line-" + std::to_string(line.number);
+    // parser's message; the rest of the batch is unaffected. The record
+    // depends on the line NUMBER, so it is never memoized (no key).
+    ScenarioResult result;
+    result.id = "line-" + std::to_string(line_number);
     result.ok = false;
     result.error = e.what();
+    prepared.error_record = to_json(result).dump();
+    prepared.id = result.id;
   }
-  return LineOutcome{to_json(result).dump(), result.ok ? 1 : 0};
+  return prepared;
+}
+
+/// Whether a serialized result record carries ok:true. Safe on the raw
+/// bytes: records are canonically serialized ({"id":…,"ok":…), and the
+/// literal `"ok":false` cannot occur inside a JSON string value — the
+/// quotes there would be escaped as \" — so the substring test can only
+/// match the record's own ok member.
+bool record_is_ok(const std::string& record) {
+  return record.find("\"ok\":false") == std::string::npos;
 }
 
 }  // namespace
 
 ServeSummary serve_stream(std::istream& in, std::ostream& out,
                           ScenarioRunner& runner, const ServeOptions& options) {
-  std::vector<InputLine> lines;
+  const auto batch_start = std::chrono::steady_clock::now();
+
+  std::vector<PreparedLine> lines;
   std::string raw;
   std::size_t number = 0;
   while (std::getline(in, raw)) {
     ++number;
     if (!raw.empty() && raw.back() == '\r') raw.pop_back();  // CRLF input
     if (trim(raw).empty()) continue;
-    lines.push_back(InputLine{raw, number});
+    lines.push_back(prepare_line(raw, number, options));
+  }
+  const std::size_t n = lines.size();
+
+  // Job descriptions for the engine: the canonical serialization is the
+  // memo's content address (identical bytes ⇔ identical record — the
+  // id and backend defaults are already resolved above, so two lines
+  // that differ only in *those* do not alias). Keys are only
+  // serialized when the memo will actually read them.
+  std::vector<dispatch::Job> jobs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (lines[i].valid) {
+      if (options.dedup) jobs[i].memo_key = to_json_line(lines[i].request);
+      jobs[i].cost = estimate_request_cost(lines[i].request);
+    }
   }
 
-  sweep::SweepOptions sweep_options;
-  sweep_options.threads = options.threads;
-  const sweep::ScenarioSweep sweeper(sweep_options);
-
-  const auto start = std::chrono::steady_clock::now();
-  const std::vector<LineOutcome> outcomes = sweeper.map(
-      lines.size(),
-      [&](std::size_t i) { return process_line(lines[i], runner, options); });
-  const auto stop = std::chrono::steady_clock::now();
-
   ServeSummary summary;
-  summary.requests = lines.size();
-  summary.threads = sweeper.thread_count();
-  summary.wall_seconds =
-      std::chrono::duration<double>(stop - start).count();
-  for (const LineOutcome& outcome : outcomes) {
-    out << outcome.record << '\n';
-    if (outcome.ok != 0) {
+  summary.requests = n;
+  summary.policy = options.policy;
+  summary.dedup = options.dedup;
+
+  // ok/failed are tallied as records stream out (memoized records never
+  // pass through ScenarioResult, so the writer is the one place every
+  // record crosses).
+  std::vector<int> ok_flags(n, 0);
+  dispatch::OrderedWriter writer(
+      out, n, [&](std::size_t index, const std::string& record) {
+        ok_flags[index] = record_is_ok(record) ? 1 : 0;
+      });
+
+  dispatch::EngineOptions engine_options;
+  engine_options.threads = options.threads;
+  engine_options.policy = options.policy;
+  engine_options.dedup = options.dedup;
+  engine_options.memo = options.memo;
+  const dispatch::EngineStats stats = dispatch::run_batch(
+      jobs,
+      [&](std::size_t i) {
+        if (!lines[i].valid) return lines[i].error_record;
+        return to_json(runner.run(lines[i].request)).dump();
+      },
+      writer, engine_options);
+
+  summary.threads = stats.threads;
+  summary.makespan_seconds = stats.makespan_seconds;
+  summary.executed = stats.executed;
+  summary.memo_hits = stats.memo_hits;
+  summary.max_buffered = stats.max_buffered;
+  summary.request_timings.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    RequestTiming& timing = summary.request_timings[i];
+    timing.id = lines[i].id;
+    timing.ok = ok_flags[i] != 0;
+    timing.memo_hit = stats.timings[i].memo_hit;
+    timing.cost = jobs[i].cost;
+    timing.wall_seconds = stats.timings[i].wall_seconds;
+    timing.cpu_seconds = stats.timings[i].cpu_seconds;
+    if (timing.ok) {
       ++summary.succeeded;
     } else {
       ++summary.failed;
     }
   }
   summary.runner = runner.stats();
+  summary.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    batch_start)
+          .count();
   return summary;
+}
+
+JsonValue serve_summary_to_json(const ServeSummary& summary) {
+  JsonValue out = JsonValue::object();
+  out.set("schema", JsonValue::string("thermo.serve_summary.v1"));
+  out.set("requests",
+          JsonValue::number(static_cast<double>(summary.requests)));
+  out.set("ok", JsonValue::number(static_cast<double>(summary.succeeded)));
+  out.set("failed", JsonValue::number(static_cast<double>(summary.failed)));
+  out.set("threads", JsonValue::number(static_cast<double>(summary.threads)));
+  out.set("policy",
+          JsonValue::string(dispatch::schedule_policy_name(summary.policy)));
+  out.set("dedup", JsonValue::boolean(summary.dedup));
+  out.set("wall_s", JsonValue::number(summary.wall_seconds));
+  out.set("makespan_s", JsonValue::number(summary.makespan_seconds));
+  out.set("max_buffered",
+          JsonValue::number(static_cast<double>(summary.max_buffered)));
+
+  JsonValue memo = JsonValue::object();
+  memo.set("executed",
+           JsonValue::number(static_cast<double>(summary.executed)));
+  memo.set("hits", JsonValue::number(static_cast<double>(summary.memo_hits)));
+  memo.set("hit_rate",
+           JsonValue::number(summary.requests > 0
+                                 ? static_cast<double>(summary.memo_hits) /
+                                       static_cast<double>(summary.requests)
+                                 : 0.0));
+  out.set("memo", std::move(memo));
+
+  JsonValue model_cache = JsonValue::object();
+  model_cache.set("hits", JsonValue::number(
+                              static_cast<double>(summary.runner.model_hits)));
+  model_cache.set(
+      "misses",
+      JsonValue::number(static_cast<double>(summary.runner.model_misses)));
+  out.set("model_cache", std::move(model_cache));
+
+  // Tail latency over the per-request wall times: the slowest request
+  // and the p95 — the numbers the scheduling policy exists to improve.
+  JsonValue tail = JsonValue::object();
+  std::string slowest_id;
+  double slowest_wall = 0.0;
+  std::vector<double> walls;
+  walls.reserve(summary.request_timings.size());
+  for (const RequestTiming& timing : summary.request_timings) {
+    walls.push_back(timing.wall_seconds);
+    if (timing.wall_seconds > slowest_wall) {
+      slowest_wall = timing.wall_seconds;
+      slowest_id = timing.id;
+    }
+  }
+  double p95 = 0.0;
+  if (!walls.empty()) {
+    std::sort(walls.begin(), walls.end());
+    const std::size_t rank = (walls.size() * 95 + 99) / 100;  // ceil(0.95 n)
+    p95 = walls[rank == 0 ? 0 : rank - 1];
+  }
+  tail.set("slowest_id", JsonValue::string(slowest_id));
+  tail.set("slowest_wall_s", JsonValue::number(slowest_wall));
+  tail.set("p95_wall_s", JsonValue::number(p95));
+  out.set("tail", std::move(tail));
+
+  JsonValue timings = JsonValue::array();
+  for (const RequestTiming& timing : summary.request_timings) {
+    JsonValue t = JsonValue::object();
+    t.set("id", JsonValue::string(timing.id));
+    t.set("ok", JsonValue::boolean(timing.ok));
+    t.set("memo_hit", JsonValue::boolean(timing.memo_hit));
+    t.set("cost", JsonValue::number(timing.cost));
+    t.set("wall_s", JsonValue::number(timing.wall_seconds));
+    t.set("cpu_s", JsonValue::number(timing.cpu_seconds));
+    timings.append(std::move(t));
+  }
+  out.set("request_timings", std::move(timings));
+  return out;
 }
 
 }  // namespace thermo::scenario

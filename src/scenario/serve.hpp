@@ -1,6 +1,7 @@
 // The batch front-end behind `thermosched serve`: stream JSONL scenario
-// requests (one JSON object per line) through a ScenarioRunner, fanned
-// across a sweep::ScenarioSweep thread pool, and write one JSONL result
+// requests (one JSON object per line) through a ScenarioRunner, executed
+// by the dispatch engine (src/dispatch) — cost-aware placement, result
+// memoization, streaming ordered output — and write one JSONL result
 // record per request *in input order*.
 //
 // Contract (docs/SERVE.md):
@@ -9,18 +10,24 @@
 //   * a malformed or invalid request line yields an `ok:false` record in
 //     its slot — one bad request never aborts the batch;
 //   * requests without an "id" are assigned "line-<input line number>";
-//   * the output bytes are identical for any thread count (results are
-//     written slot-per-index; every record is a pure function of its
-//     request line).
+//   * the output bytes are identical for any thread count, schedule
+//     policy, and dedup setting (results are streamed in index order;
+//     every record is a pure function of its request line — placement
+//     and memoization change when work runs, never what is written).
 // Wall-clock timing lives in the returned summary, NOT in the records —
-// that is what keeps them reproducible.
+// that is what keeps them reproducible. Per-request wall/CPU timings
+// ride in the summary too (the `--summary-json` payload).
 #pragma once
 
 #include <cstddef>
 #include <iosfwd>
+#include <string>
+#include <vector>
 
+#include "dispatch/engine.hpp"
 #include "scenario/runner.hpp"
 #include "thermal/backend.hpp"
+#include "util/json.hpp"
 
 namespace thermo::scenario {
 
@@ -31,22 +38,62 @@ struct ServeOptions {
   /// not name `solver.backend` itself (a request's explicit choice
   /// always wins) — what `thermosched serve --solver-backend` sets.
   thermal::SolverBackend default_backend = thermal::SolverBackend::kAuto;
+  /// Execution-start order: kFifo = input order (historical behaviour),
+  /// kLjf = longest-job-first by estimated cost — cuts makespan on
+  /// skewed batches (bench_dispatch gates this). Output bytes do not
+  /// depend on the choice.
+  dispatch::SchedulePolicy policy = dispatch::SchedulePolicy::kFifo;
+  /// Memoize result records by canonical request content so duplicate
+  /// requests (within this batch, or across batches via `memo`) execute
+  /// once. Off = every request executes; output bytes are unchanged.
+  bool dedup = true;
+  /// Cross-batch memo (borrowed); nullptr = a throwaway per-call memo,
+  /// i.e. within-batch dedup only.
+  dispatch::ResultMemo* memo = nullptr;
+};
+
+/// Per-request execution facts, index-aligned with the (non-blank)
+/// input lines. Summary-only: none of this may appear in the JSONL
+/// records, which must stay byte-deterministic.
+struct RequestTiming {
+  std::string id;             ///< resolved id ("line-<n>" when absent)
+  bool ok = false;            ///< the record's ok flag
+  bool memo_hit = false;      ///< served from the memo / a duplicate
+  double cost = 0.0;          ///< CostModel estimate (relative units)
+  double wall_seconds = 0.0;  ///< execution wall time (0 on memo hits)
+  double cpu_seconds = 0.0;   ///< executing thread's CPU time
 };
 
 struct ServeSummary {
   std::size_t requests = 0;   ///< non-blank input lines
   std::size_t succeeded = 0;  ///< records with ok:true
   std::size_t failed = 0;     ///< parse failures + runner errors
-  std::size_t threads = 0;    ///< workers actually used
-  double wall_seconds = 0.0;  ///< end-to-end batch time
+  /// Workers that actually executed (configured — or hardware — count
+  /// capped by the jobs scheduled; 0 when the whole batch was answered
+  /// from the memo).
+  std::size_t threads = 0;
+  dispatch::SchedulePolicy policy = dispatch::SchedulePolicy::kFifo;
+  bool dedup = true;
+  double wall_seconds = 0.0;      ///< end-to-end batch time (parse + run)
+  double makespan_seconds = 0.0;  ///< execution window only
+  std::size_t executed = 0;       ///< requests that actually ran
+  std::size_t memo_hits = 0;      ///< requests answered from the memo
+  std::size_t max_buffered = 0;   ///< ordered-writer high-water mark
+  std::vector<RequestTiming> request_timings;  ///< input order
   ScenarioRunner::Stats runner;  ///< model-cache hits/misses
 };
 
 /// Reads every line of `in`, processes the batch, writes the records to
-/// `out` (one line each, input order). The runner is borrowed so callers
-/// can serve several batches against one warm model cache.
+/// `out` (one line each, input order, streamed as they complete). The
+/// runner is borrowed so callers can serve several batches against one
+/// warm model cache; pass options.memo to also share the result memo.
 ServeSummary serve_stream(std::istream& in, std::ostream& out,
                           ScenarioRunner& runner,
                           const ServeOptions& options = {});
+
+/// The `--summary-json` payload (schema "thermo.serve_summary.v1"):
+/// batch counts, policy/dedup, makespan + tail latency, memo hit rate,
+/// and the per-request timings. docs/SERVE.md documents every field.
+JsonValue serve_summary_to_json(const ServeSummary& summary);
 
 }  // namespace thermo::scenario

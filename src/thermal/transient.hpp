@@ -37,8 +37,10 @@ enum class TransientIntegrator {
 struct TransientOptions {
   double dt = 1e-3;  ///< step size [s]
   TransientIntegrator integrator = TransientIntegrator::kBackwardEuler;
-  /// Factor representation for the backward-Euler stepper (kRk4 is
-  /// matrix-free apart from the dense G product and ignores this).
+  /// Matrix representation: for kBackwardEuler it picks the factor of
+  /// (C/dt + G); for kRk4 it picks the G product per stage — dense n²
+  /// below the kAuto crossover, the CSR SpMV fast path
+  /// (SparseMatrix::multiply_into) at and above it.
   SolverBackend backend = SolverBackend::kAuto;
   /// Optional per-step observer (t, absolute node temperatures).
   std::function<void(double, const std::vector<double>&)> observer;

@@ -145,6 +145,41 @@ TEST(SolverBackendTest, AutoPicksDenseBelowAndSparseAboveTheCrossover) {
   }
 }
 
+TEST(SolverBackendTest, Rk4MatrixFreeSparsePathAgreesWithDense) {
+  // The explicit integrator's stage derivative is a G product: dense n²
+  // below the backend choice, the CSR SpMV fast path under kSparse
+  // (ROADMAP "matrix-free RK4"). Same nonzero terms, same within-row
+  // order, so the two must agree to roundoff — far inside the 1e-9
+  // cross-backend bound.
+  const RCModel model(quad_floorplan(), PackageParams{});
+  const std::vector<double> power(model.block_count(), 6.0);
+  const auto initial = ambient_state(model);
+  TransientOptions dense_opts;
+  dense_opts.integrator = TransientIntegrator::kRk4;
+  dense_opts.dt = 1e-5;  // explicit integration of a stiff system
+  dense_opts.backend = SolverBackend::kDense;
+  TransientOptions sparse_opts = dense_opts;
+  sparse_opts.backend = SolverBackend::kSparse;
+  const TransientResult dense =
+      simulate_transient(model, power, 0.005, initial, dense_opts);
+  const TransientResult sparse =
+      simulate_transient(model, power, 0.005, initial, sparse_opts);
+  ASSERT_EQ(dense.steps, sparse.steps);
+  EXPECT_LT(max_rel_diff(dense.final_temperature, sparse.final_temperature),
+            kBackendTolerance);
+  EXPECT_LT(max_rel_diff(dense.peak_temperature, sparse.peak_temperature),
+            kBackendTolerance);
+  // And the explicit path must track the implicit one on this horizon
+  // (the existing RK4-vs-BE bound, re-checked through the sparse path).
+  TransientOptions be_opts;
+  be_opts.dt = 1e-5;
+  be_opts.backend = SolverBackend::kSparse;
+  const TransientResult be =
+      simulate_transient(model, power, 0.005, initial, be_opts);
+  EXPECT_LT(max_rel_diff(sparse.final_temperature, be.final_temperature),
+            1e-3);
+}
+
 TEST(SolverBackendTest, AnalyzerHonoursTheBackend) {
   const core::SocSpec soc = testing::nine_soc();
   ThermalAnalyzer::Options dense_opts;
