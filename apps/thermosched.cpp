@@ -25,6 +25,14 @@
 //             Options: --in PATH|-, --out PATH|-, --threads,
 //             --schedule-policy fifo|ljf, --dedup on|off,
 //             --summary-json PATH
+//   gen       Emit a deterministic JSONL request stream for serve
+//             (src/gen): Zipf-skewed sizes spanning the dense/sparse
+//             crossover, tunable duplication rate, request-kind mix
+//             (stcl_sweep / ptrace / chained), arrival-order pattern.
+//             Identical flags always produce byte-identical streams.
+//             Schema: docs/GEN.md.
+//             Options: --count, --seed, --zipf, --dup, --order,
+//             --mix-sweep, --mix-ptrace, --mix-chained, --out PATH|-
 //   info      Print floorplan statistics (areas, adjacency, boundary
 //             exposure, power densities).
 //             Options: --flp PATH --density D | --alpha, --csv
@@ -43,6 +51,7 @@
 #include "core/thermal_scheduler.hpp"
 #include "dispatch/work_queue.hpp"
 #include "floorplan/flp_io.hpp"
+#include "gen/generator.hpp"
 #include "scenario/serve.hpp"
 #include "soc/alpha.hpp"
 #include "thermal/analyzer.hpp"
@@ -84,6 +93,15 @@ struct CommonArgs {
   std::string summary_json_path;
   // schedule/sweep/serve: thermal solver backend (docs/SOLVERS.md)
   std::string solver_backend = "auto";
+  // gen-only knobs (docs/GEN.md)
+  long long gen_count = 1000;
+  long long gen_seed = 1;
+  double gen_zipf = 1.5;
+  double gen_dup = 0.0;
+  std::string gen_order = "shuffled";
+  double gen_mix_sweep = 0.7;
+  double gen_mix_ptrace = 0.15;
+  double gen_mix_chained = 0.15;
 };
 
 /// "dense" | "sparse" | "auto" -> SolverBackend; anything else is a
@@ -106,6 +124,19 @@ dispatch::SchedulePolicy parse_schedule_policy(const std::string& name) {
                           "' (expected 'fifo' or 'ljf')");
   }
   return *policy;
+}
+
+/// Order-pattern name -> OrderPattern; anything else is a usage error
+/// (exit 2).
+gen::OrderPattern parse_order_pattern(const std::string& name) {
+  const auto order = gen::order_pattern_from_name(name);
+  if (!order) {
+    throw InvalidArgument(
+        "unknown order pattern '" + name +
+        "' (expected 'as-generated', 'shuffled', 'sorted', 'sorted-desc', "
+        "or 'whale-last')");
+  }
+  return *order;
 }
 
 /// "on" | "off" -> bool; anything else is a usage error (exit 2).
@@ -135,6 +166,12 @@ void print_global_usage(std::ostream& out) {
          "            [--in PATH|-] [--out PATH|-] [--threads N]\n"
          "            [--schedule-policy fifo|ljf] [--dedup on|off]\n"
          "            [--summary-json PATH] [--solver-backend B]\n"
+         "  gen       Emit a deterministic JSONL request stream for serve\n"
+         "            (byte-identical for identical flags; docs/GEN.md)\n"
+         "            [--count N] [--seed S] [--zipf Z] [--dup R]\n"
+         "            [--order as-generated|shuffled|sorted|sorted-desc|\n"
+         "            whale-last] [--mix-sweep W] [--mix-ptrace W]\n"
+         "            [--mix-chained W] [--out PATH|-]\n"
          "  info      Floorplan statistics\n"
          "            [--flp PATH --density D | --alpha] [--csv]\n"
          "\n"
@@ -366,6 +403,50 @@ int cmd_serve(const CommonArgs& args) {
   return kExitOk;
 }
 
+int cmd_gen(const CommonArgs& args) {
+  gen::GenConfig config;
+  config.seed = static_cast<std::uint64_t>(args.gen_seed);
+  config.count = static_cast<std::size_t>(args.gen_count);
+  config.zipf_skew = args.gen_zipf;
+  config.dup_rate = args.gen_dup;
+  config.mix.sweep = args.gen_mix_sweep;
+  config.mix.ptrace = args.gen_mix_ptrace;
+  config.mix.chained = args.gen_mix_chained;
+  config.order = parse_order_pattern(args.gen_order);
+
+  std::ofstream out_file;
+  if (args.out_path != "-") {
+    out_file.open(args.out_path);
+    if (!out_file) {
+      throw InvalidArgument("cannot open requests file '" + args.out_path +
+                            "' for writing");
+    }
+  }
+  std::ostream& out = args.out_path == "-" ? std::cout : out_file;
+
+  const gen::GeneratedStream stream = gen::generate_stream(config);
+  gen::write_stream(stream, out);
+  // A full disk or closed pipe must be a runtime error, not a silently
+  // truncated stream (same rule as serve's results file).
+  out.flush();
+  if (!out.good()) {
+    throw Error("failed writing requests to '" + args.out_path + "'");
+  }
+
+  // Stats go to stderr: with --out -, stdout is the request stream and
+  // must stay pure.
+  std::cerr << "generated " << stream.stats.count << " requests ("
+            << stream.stats.fresh << " fresh, " << stream.stats.duplicates
+            << " duplicates; " << stream.stats.sweep << " stcl_sweep, "
+            << stream.stats.ptrace << " ptrace, " << stream.stats.chained
+            << " chained; order " << gen::order_pattern_name(config.order)
+            << ", seed " << config.seed << ")\n";
+  if (args.out_path == "-") return kExitOk;
+  std::cout << "wrote " << stream.stats.count << " request lines to "
+            << args.out_path << '\n';
+  return kExitOk;
+}
+
 int cmd_info(const CommonArgs& args) {
   const core::SocSpec soc = build_soc(args);
   std::cout << "SoC '" << soc.name << "': " << soc.core_count()
@@ -404,8 +485,10 @@ int main(int argc, char** argv) {
   const bool is_simulate = command == "simulate";
   const bool is_sweep = command == "sweep";
   const bool is_serve = command == "serve";
+  const bool is_gen = command == "gen";
   const bool is_info = command == "info";
-  if (!is_schedule && !is_simulate && !is_sweep && !is_serve && !is_info) {
+  if (!is_schedule && !is_simulate && !is_sweep && !is_serve && !is_gen &&
+      !is_info) {
     std::cerr << "unknown command '" << command << "'\n\n";
     print_global_usage(std::cerr);
     return kExitUsageError;
@@ -417,7 +500,7 @@ int main(int argc, char** argv) {
   CommonArgs args;
   CliParser cli("thermosched " + command, "Thermal-safe SoC test scheduling");
   bool alpha_flag = false;
-  if (!is_serve) {
+  if (!is_serve && !is_gen) {
     cli.add_string("flp", "HotSpot .flp floorplan file", &args.flp_path);
     cli.add_double("density", "Uniform test power density for --flp [W/m^2]",
                    &args.density);
@@ -457,6 +540,32 @@ int main(int argc, char** argv) {
                    "latency, memo hit rate, per-request timings) to PATH",
                    &args.summary_json_path);
   }
+  if (is_gen) {
+    cli.add_int("count", "Request lines to emit (duplicates included)",
+                &args.gen_count);
+    cli.add_int("seed", "Stream seed; identical flags + seed = identical "
+                        "bytes",
+                &args.gen_seed);
+    cli.add_double("zipf",
+                   "Size skew: Zipf exponent over the synthetic core "
+                   "ladder (0 = uniform)",
+                   &args.gen_zipf);
+    cli.add_double("dup",
+                   "Duplicate-line probability in [0, 1) (byte-identical "
+                   "copies, what serve's --dedup memoizes)",
+                   &args.gen_dup);
+    cli.add_string("order",
+                   "Arrival order: as-generated, shuffled, sorted, "
+                   "sorted-desc, or whale-last",
+                   &args.gen_order);
+    cli.add_double("mix-sweep", "Relative weight of kind stcl_sweep",
+                   &args.gen_mix_sweep);
+    cli.add_double("mix-ptrace", "Relative weight of kind ptrace",
+                   &args.gen_mix_ptrace);
+    cli.add_double("mix-chained", "Relative weight of kind chained",
+                   &args.gen_mix_chained);
+    cli.add_string("out", "JSONL requests file, - = stdout", &args.out_path);
+  }
   if (is_sweep || is_serve) {
     cli.add_int("threads", "Worker threads, 0 = all hardware threads",
                 &args.threads);
@@ -480,6 +589,15 @@ int main(int argc, char** argv) {
       parse_schedule_policy(args.schedule_policy);
       parse_dedup(args.dedup);
     }
+    if (is_gen) {
+      parse_order_pattern(args.gen_order);
+      if (args.gen_count < 1) {
+        throw InvalidArgument("--count must be >= 1");
+      }
+      if (args.gen_seed < 0) {
+        throw InvalidArgument("--seed must be >= 0");
+      }
+    }
   } catch (const Error& e) {
     std::cerr << "error: " << e.what() << '\n';
     return kExitUsageError;
@@ -491,6 +609,7 @@ int main(int argc, char** argv) {
     if (is_simulate) return cmd_simulate(args);
     if (is_sweep) return cmd_sweep(args);
     if (is_serve) return cmd_serve(args);
+    if (is_gen) return cmd_gen(args);
     return cmd_info(args);
   } catch (const Error& e) {
     std::cerr << "error: " << e.what() << '\n';

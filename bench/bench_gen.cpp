@@ -1,0 +1,252 @@
+// Generator-fed serve record: push one deterministic gen stream (skewed
+// sizes, duplicated lines, shuffled arrival) through the full serve
+// stack in every dispatch configuration and prove the pipeline keeps
+// its promises at scale.
+//
+//   ./build/bench/bench_gen                        # table
+//   ./build/bench/bench_gen --json BENCH_gen.json
+//
+// The stream is gen::generate_stream at --count/--seed/--dup/--zipf
+// (default: 10k requests, 30% duplicates, Zipf 1.5 over the ladder that
+// straddles the dense/sparse crossover). It is served under all eight
+// {1, N threads} x {fifo, ljf} x {dedup on, off} configurations against
+// a 1-thread fifo reference.
+//
+// The JSON record (schema "thermo.bench_gen.v1") is CI-gated:
+//   * deterministic: every configuration's output is byte-identical to
+//     the reference — thread count, policy, and dedup may change when
+//     work runs, never what is written;
+//   * all_ok: no request in the generated stream fails to serve;
+//   * memo_exact: with dedup on, memo hits == the generator's duplicate
+//     count EXACTLY. Fresh requests carry unique ids, so the serve memo
+//     (keyed on canonical request content) can only hit on deliberate
+//     verbatim copies — any drift means either the generator leaked a
+//     collision or the memo key went soft;
+//   * mix_ok: the measured duplicate share and per-kind line shares are
+//     within 0.05 of the configured knobs, and both new request kinds
+//     (ptrace, chained) actually appear.
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gen/generator.hpp"
+#include "scenario/serve.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace thermo;
+
+struct ConfigResult {
+  std::size_t threads = 0;
+  dispatch::SchedulePolicy policy = dispatch::SchedulePolicy::kFifo;
+  bool dedup = false;
+  double makespan_s = 0.0;
+  double req_per_s = 0.0;
+  std::size_t memo_hits = 0;
+  bool matches_reference = false;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long long count = 10000;
+  long long threads = 4;
+  long long seed = 42;
+  double dup_rate = 0.3;
+  double zipf_skew = 1.5;
+  std::string json_path;
+  CliParser cli("bench_gen",
+                "Generated-stream serve record: one seeded gen stream "
+                "through every {threads} x {policy} x {dedup} configuration");
+  cli.add_int("count", "Requests in the generated stream", &count);
+  cli.add_int("threads", "Worker threads for the N-thread configs", &threads);
+  cli.add_int("seed", "Generator seed", &seed);
+  cli.add_double("dup", "Duplicate-line rate in [0, 1)", &dup_rate);
+  cli.add_double("zipf", "Zipf skew over the core ladder", &zipf_skew);
+  cli.add_string("json", "Write BENCH_gen.json-style record here", &json_path);
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+    THERMO_REQUIRE(count >= 100, "--count must be >= 100");
+    THERMO_REQUIRE(threads >= 2, "--threads must be >= 2");
+    THERMO_REQUIRE(seed >= 0, "--seed must be >= 0");
+
+    gen::GenConfig config;
+    config.seed = static_cast<std::uint64_t>(seed);
+    config.count = static_cast<std::size_t>(count);
+    config.dup_rate = dup_rate;
+    config.zipf_skew = zipf_skew;
+    config.order = gen::OrderPattern::kShuffled;
+
+    const auto gen_start = std::chrono::steady_clock::now();
+    const gen::GeneratedStream stream = gen::generate_stream(config);
+    const double gen_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      gen_start)
+            .count();
+    std::ostringstream request_buffer;
+    gen::write_stream(stream, request_buffer);
+    const std::string requests = request_buffer.str();
+    const double n = static_cast<double>(stream.stats.count);
+
+    // Mix gate: the knobs must be visible in the stream itself, and the
+    // stream must exercise both new request kinds. Deterministic per
+    // seed, so this is a regression pin, not a flaky statistical test.
+    const double dup_share = static_cast<double>(stream.stats.duplicates) / n;
+    const double sweep_share = static_cast<double>(stream.stats.sweep) / n;
+    const double ptrace_share = static_cast<double>(stream.stats.ptrace) / n;
+    const double chained_share = static_cast<double>(stream.stats.chained) / n;
+    const gen::KindMix mix;  // generator defaults (0.7 / 0.15 / 0.15)
+    const bool mix_ok =
+        std::abs(dup_share - dup_rate) <= 0.05 &&
+        std::abs(sweep_share - mix.sweep) <= 0.05 &&
+        std::abs(ptrace_share - mix.ptrace) <= 0.05 &&
+        std::abs(chained_share - mix.chained) <= 0.05 &&
+        stream.stats.ptrace > 0 && stream.stats.chained > 0;
+
+    // Eight serve configurations; the first (1-thread fifo, dedup off)
+    // is the byte reference. Fresh runner per run: every configuration
+    // pays the same cold model-cache cost.
+    std::vector<ConfigResult> results;
+    std::string reference_output;
+    bool deterministic = true;
+    bool all_ok = true;
+    bool memo_exact = true;
+    for (const bool dedup : {false, true}) {
+      for (const dispatch::SchedulePolicy policy :
+           {dispatch::SchedulePolicy::kFifo, dispatch::SchedulePolicy::kLjf}) {
+        for (const std::size_t worker_count :
+             {std::size_t{1}, static_cast<std::size_t>(threads)}) {
+          scenario::ServeOptions options;
+          options.threads = worker_count;
+          options.policy = policy;
+          options.dedup = dedup;
+          std::istringstream in(requests);
+          std::ostringstream out;
+          scenario::ScenarioRunner runner;
+          const scenario::ServeSummary summary =
+              scenario::serve_stream(in, out, runner, options);
+
+          ConfigResult result;
+          result.threads = worker_count;
+          result.policy = policy;
+          result.dedup = dedup;
+          result.makespan_s = summary.makespan_seconds;
+          result.req_per_s = summary.makespan_seconds > 0.0
+                                 ? n / summary.makespan_seconds
+                                 : 0.0;
+          result.memo_hits = summary.memo_hits;
+          if (reference_output.empty()) {
+            reference_output = out.str();
+            result.matches_reference = true;
+          } else {
+            result.matches_reference = out.str() == reference_output;
+          }
+          deterministic = deterministic && result.matches_reference;
+          all_ok = all_ok && summary.failed == 0;
+          if (dedup) {
+            memo_exact = memo_exact &&
+                         summary.memo_hits == stream.stats.duplicates;
+          }
+          results.push_back(result);
+        }
+      }
+    }
+
+    std::cout << "gen stream: " << stream.stats.count << " requests ("
+              << stream.stats.fresh << " fresh, " << stream.stats.duplicates
+              << " duplicates; " << stream.stats.sweep << " stcl_sweep, "
+              << stream.stats.ptrace << " ptrace, " << stream.stats.chained
+              << " chained; seed " << seed << ", generated in "
+              << format_double(gen_seconds, 3) << " s)\n";
+    for (const ConfigResult& result : results) {
+      std::cout << "  " << result.threads << " thread"
+                << (result.threads == 1 ? " " : "s") << " "
+                << (result.policy == dispatch::SchedulePolicy::kLjf ? "ljf "
+                                                                    : "fifo")
+                << " dedup " << (result.dedup ? "on " : "off") << ": "
+                << format_double(result.makespan_s, 3) << " s ("
+                << format_double(result.req_per_s, 1) << " req/s, memo hits "
+                << result.memo_hits << ")"
+                << (result.matches_reference ? "" : "  BYTES DIFFER") << '\n';
+    }
+    std::cout << "  deterministic: " << (deterministic ? "yes" : "NO")
+              << ", memo exact: " << (memo_exact ? "yes" : "NO")
+              << ", mix ok: " << (mix_ok ? "yes" : "NO") << '\n';
+
+    if (!json_path.empty()) {
+      JsonValue record = JsonValue::object();
+      record.set("schema", JsonValue::string("thermo.bench_gen.v1"));
+      record.set("count", JsonValue::number(n));
+      record.set("seed", JsonValue::number(static_cast<double>(seed)));
+      record.set("dup_rate", JsonValue::number(dup_rate));
+      record.set("zipf_skew", JsonValue::number(zipf_skew));
+      record.set("gen_seconds", JsonValue::number(gen_seconds));
+      record.set("fresh",
+                 JsonValue::number(static_cast<double>(stream.stats.fresh)));
+      record.set("duplicates", JsonValue::number(static_cast<double>(
+                                   stream.stats.duplicates)));
+      record.set("sweep_share", JsonValue::number(sweep_share));
+      record.set("ptrace_share", JsonValue::number(ptrace_share));
+      record.set("chained_share", JsonValue::number(chained_share));
+      JsonValue configs = JsonValue::array();
+      for (const ConfigResult& result : results) {
+        JsonValue entry = JsonValue::object();
+        entry.set("threads",
+                  JsonValue::number(static_cast<double>(result.threads)));
+        entry.set("policy", JsonValue::string(
+                                result.policy == dispatch::SchedulePolicy::kLjf
+                                    ? "ljf"
+                                    : "fifo"));
+        entry.set("dedup", JsonValue::boolean(result.dedup));
+        entry.set("makespan_s", JsonValue::number(result.makespan_s));
+        entry.set("req_per_s", JsonValue::number(result.req_per_s));
+        entry.set("memo_hits",
+                  JsonValue::number(static_cast<double>(result.memo_hits)));
+        configs.append(std::move(entry));
+      }
+      record.set("configs", std::move(configs));
+      record.set("deterministic", JsonValue::boolean(deterministic));
+      record.set("all_ok", JsonValue::boolean(all_ok));
+      record.set("memo_exact", JsonValue::boolean(memo_exact));
+      record.set("mix_ok", JsonValue::boolean(mix_ok));
+      std::ofstream out(json_path);
+      THERMO_REQUIRE(static_cast<bool>(out),
+                     "cannot open --json path for writing");
+      out << record.dump() << '\n';
+      out.flush();
+      THERMO_REQUIRE(out.good(), "failed writing '" + json_path + "'");
+      std::cout << "wrote " << json_path << '\n';
+    }
+
+    if (!deterministic) {
+      std::cerr << "error: outputs differ across threads/policy/dedup\n";
+      return 1;
+    }
+    if (!all_ok) {
+      std::cerr << "error: generated stream produced failing requests\n";
+      return 1;
+    }
+    if (!memo_exact) {
+      std::cerr << "error: dedup memo hits != generated duplicate count ("
+                << stream.stats.duplicates << " expected)\n";
+      return 1;
+    }
+    if (!mix_ok) {
+      std::cerr << "error: measured dup/kind mix outside 0.05 of the "
+                   "configured knobs\n";
+      return 1;
+    }
+    return 0;
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -12,8 +12,10 @@ double CostModel::estimate(const CostFeatures& features) const {
   const double solves_per_call =
       features.transient ? std::max(1.0, features.steps_per_call) : 1.0;
   const double calls =
-      constants_.validations_per_core *
-      static_cast<double>(std::max<std::size_t>(features.cores, 1));
+      features.oracle_calls > 0.0
+          ? features.oracle_calls
+          : constants_.validations_per_core *
+                static_cast<double>(std::max<std::size_t>(features.cores, 1));
   const double points =
       static_cast<double>(std::max<std::size_t>(features.stcl_points, 1));
   return constants_.per_request +

@@ -36,6 +36,11 @@ struct CostFeatures {
   bool transient = true;       ///< transient oracle (false = steady)
   double steps_per_call = 0.0; ///< BE steps per oracle call (transient)
   std::size_t stcl_points = 1; ///< Algorithm 1 runs in the request
+  /// Exact oracle-call count per point when the request shape makes it
+  /// known up front (a power-trace replay performs exactly one call per
+  /// trace step). 0 (default) keeps the Algorithm 1 estimate of
+  /// validations_per_core * cores.
+  double oracle_calls = 0.0;
 };
 
 /// Calibrated constants (relative units). Defaults were fitted against

@@ -62,6 +62,68 @@ std::uint64_t require_integer(const JsonValue& v, const std::string& path,
   return integer;
 }
 
+RequestKind parse_request_kind(const JsonValue& v) {
+  const std::string name = require_string(v, "kind");
+  if (name == "stcl_sweep") return RequestKind::kStclSweep;
+  if (name == "ptrace") return RequestKind::kPtrace;
+  if (name == "chained") return RequestKind::kChained;
+  fail("kind", "unknown kind '" + name +
+                   "' (expected 'stcl_sweep', 'ptrace', or 'chained')");
+}
+
+/// The Algorithm 1 knobs (tl, stcl, weighting, ordering) only make sense
+/// when a schedule is being generated — every kind except ptrace replay.
+void require_scheduling_kind(RequestKind kind, const std::string& path) {
+  if (kind == RequestKind::kPtrace) {
+    fail(path, "not valid for kind 'ptrace'");
+  }
+}
+
+PtraceSpec parse_ptrace(const JsonValue& v) {
+  if (!v.is_object()) {
+    fail("ptrace", std::string("expected an object, got ") + v.type_name());
+  }
+  PtraceSpec spec;
+  for (const auto& [key, value] : v.members()) {
+    const std::string path = "ptrace." + key;
+    if (key == "path") {
+      spec.path = require_string(value, path);
+      if (spec.path.empty()) fail(path, "must be a non-empty path");
+    } else if (key == "text") {
+      spec.text = require_string(value, path);
+      if (spec.text.empty()) fail(path, "must be non-empty ptrace content");
+    } else if (key == "step_duration") {
+      spec.step_duration = positive_number(value, path);
+    } else {
+      fail("ptrace", "unknown field '" + key + "'");
+    }
+  }
+  if (spec.path.empty() == spec.text.empty()) {
+    fail("ptrace", "exactly one of path or text is required");
+  }
+  return spec;
+}
+
+ChainedSpec parse_chained(const JsonValue& v) {
+  if (!v.is_object()) {
+    fail("chained", std::string("expected an object, got ") + v.type_name());
+  }
+  ChainedSpec spec;
+  for (const auto& [key, value] : v.members()) {
+    const std::string path = "chained." + key;
+    if (key == "cooling_gap") {
+      const double gap = require_number(value, path);
+      if (!std::isfinite(gap) || gap < 0.0) {
+        fail(path, "must be finite and >= 0");
+      }
+      spec.cooling_gap = gap;
+    } else {
+      fail("chained", "unknown field '" + key + "'");
+    }
+  }
+  return spec;
+}
+
 SocKind parse_soc_kind(const JsonValue& v) {
   const std::string name = require_string(v, "soc.kind");
   if (name == "alpha") return SocKind::kAlpha;
@@ -268,6 +330,15 @@ SolverSpec parse_solver(const JsonValue& v) {
 
 }  // namespace
 
+const char* request_kind_name(RequestKind kind) {
+  switch (kind) {
+    case RequestKind::kStclSweep: return "stcl_sweep";
+    case RequestKind::kPtrace: return "ptrace";
+    case RequestKind::kChained: return "chained";
+  }
+  return "?";
+}
+
 const char* soc_kind_name(SocKind kind) {
   switch (kind) {
     case SocKind::kAlpha: return "alpha";
@@ -304,36 +375,70 @@ ScenarioRequest parse_request(const JsonValue& json) {
     fail("", std::string("expected a JSON object, got ") + json.type_name());
   }
   ScenarioRequest request;
+  if (const JsonValue* kind = json.find("kind")) {
+    request.kind = parse_request_kind(*kind);
+  }
+  bool saw_ptrace = false;
   for (const auto& [key, value] : json.members()) {
-    if (key == "id") {
+    if (key == "kind") {
+      continue;  // handled above, before kind-gated fields
+    } else if (key == "id") {
       request.id = require_string(value, "id");
     } else if (key == "soc") {
       request.soc = parse_soc(value);
+    } else if (key == "ptrace") {
+      if (request.kind != RequestKind::kPtrace) {
+        fail("ptrace", "only valid for kind 'ptrace'");
+      }
+      request.ptrace = parse_ptrace(value);
+      saw_ptrace = true;
+    } else if (key == "chained") {
+      if (request.kind != RequestKind::kChained) {
+        fail("chained", "only valid for kind 'chained'");
+      }
+      request.chained = parse_chained(value);
     } else if (key == "tl") {
+      require_scheduling_kind(request.kind, "tl");
       request.tl = positive_number(value, "tl");
     } else if (key == "stcl") {
+      require_scheduling_kind(request.kind, "stcl");
       request.stcl = parse_stcl(value);
     } else if (key == "stc_scale") {
+      require_scheduling_kind(request.kind, "stc_scale");
       const double value_d = require_number(value, "stc_scale");
       if (!std::isfinite(value_d) || value_d < 0.0) {
         fail("stc_scale", "must be finite and >= 0 (0 = auto)");
       }
       request.stc_scale = value_d;
     } else if (key == "weight_factor") {
+      require_scheduling_kind(request.kind, "weight_factor");
       const double value_d = require_number(value, "weight_factor");
       if (!std::isfinite(value_d) || value_d < 1.0) {
         fail("weight_factor", "must be finite and >= 1");
       }
       request.weight_factor = value_d;
     } else if (key == "solo_policy") {
+      require_scheduling_kind(request.kind, "solo_policy");
       request.solo_policy = parse_solo_policy(value);
     } else if (key == "core_order") {
+      require_scheduling_kind(request.kind, "core_order");
       request.core_order = parse_core_order(value);
     } else if (key == "solver") {
       request.solver = parse_solver(value);
     } else {
       fail("", "unknown field '" + key + "'");
     }
+  }
+  if (request.kind == RequestKind::kPtrace) {
+    if (!saw_ptrace) {
+      fail("ptrace", "required for kind 'ptrace'");
+    }
+    if (!request.solver.transient) {
+      fail("solver.transient", "must be true for kind 'ptrace'");
+    }
+  }
+  if (request.kind == RequestKind::kChained && !request.stcl.single()) {
+    fail("stcl", "kind 'chained' requires a single stcl value");
   }
   return request;
 }
@@ -345,6 +450,7 @@ ScenarioRequest parse_request_line(std::string_view text) {
 JsonValue to_json(const ScenarioRequest& request) {
   JsonValue out = JsonValue::object();
   out.set("id", JsonValue::string(request.id));
+  out.set("kind", JsonValue::string(request_kind_name(request.kind)));
 
   JsonValue soc = JsonValue::object();
   soc.set("kind", JsonValue::string(soc_kind_name(request.soc.kind)));
@@ -366,21 +472,40 @@ JsonValue to_json(const ScenarioRequest& request) {
   soc.set("power_scale", JsonValue::number(request.soc.power_scale));
   out.set("soc", std::move(soc));
 
-  out.set("tl", JsonValue::number(request.tl));
-  if (request.stcl.single()) {
-    out.set("stcl", JsonValue::number(request.stcl.min));
+  if (request.kind == RequestKind::kPtrace) {
+    // Replay requests have no scheduling knobs; canonical form is just
+    // the trace plus the solver it will be integrated with.
+    JsonValue ptrace = JsonValue::object();
+    if (!request.ptrace.path.empty()) {
+      ptrace.set("path", JsonValue::string(request.ptrace.path));
+    } else {
+      ptrace.set("text", JsonValue::string(request.ptrace.text));
+    }
+    ptrace.set("step_duration", JsonValue::number(request.ptrace.step_duration));
+    out.set("ptrace", std::move(ptrace));
   } else {
-    JsonValue span = JsonValue::object();
-    span.set("min", JsonValue::number(request.stcl.min));
-    span.set("max", JsonValue::number(request.stcl.max));
-    span.set("step", JsonValue::number(request.stcl.step));
-    out.set("stcl", std::move(span));
+    out.set("tl", JsonValue::number(request.tl));
+    if (request.stcl.single()) {
+      out.set("stcl", JsonValue::number(request.stcl.min));
+    } else {
+      JsonValue span = JsonValue::object();
+      span.set("min", JsonValue::number(request.stcl.min));
+      span.set("max", JsonValue::number(request.stcl.max));
+      span.set("step", JsonValue::number(request.stcl.step));
+      out.set("stcl", std::move(span));
+    }
+    out.set("stc_scale", JsonValue::number(request.stc_scale));
+    out.set("weight_factor", JsonValue::number(request.weight_factor));
+    out.set("solo_policy",
+            JsonValue::string(solo_policy_name(request.solo_policy)));
+    out.set("core_order",
+            JsonValue::string(core_order_name(request.core_order)));
+    if (request.kind == RequestKind::kChained) {
+      JsonValue chained = JsonValue::object();
+      chained.set("cooling_gap", JsonValue::number(request.chained.cooling_gap));
+      out.set("chained", std::move(chained));
+    }
   }
-  out.set("stc_scale", JsonValue::number(request.stc_scale));
-  out.set("weight_factor", JsonValue::number(request.weight_factor));
-  out.set("solo_policy",
-          JsonValue::string(solo_policy_name(request.solo_policy)));
-  out.set("core_order", JsonValue::string(core_order_name(request.core_order)));
 
   JsonValue solver = JsonValue::object();
   solver.set("dt", JsonValue::number(request.solver.dt));

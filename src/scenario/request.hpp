@@ -29,6 +29,27 @@
 
 namespace thermo::scenario {
 
+/// What kind of work a request describes. Every kind lowers onto the
+/// same SoC/model machinery but produces a kind-specific result record
+/// (docs/SERVE.md "Request kinds"):
+///   * kStclSweep — Algorithm 1 once per STCL value (the original and
+///     default request shape);
+///   * kPtrace — power-trace replay: integrate a HotSpot .ptrace
+///     (inline text or file) step by step through the transient RC
+///     oracle, residual heat carrying between steps;
+///   * kChained — generate a schedule at one STCL value, then
+///     re-validate it with the chained oracle (sessions run back to
+///     back with an optional cooling gap instead of restarting from
+///     ambient — the paper's independent-session assumption, stressed).
+enum class RequestKind {
+  kStclSweep,
+  kPtrace,
+  kChained,
+};
+
+/// Canonical spelling used in JSON ("stcl_sweep", "ptrace", "chained").
+const char* request_kind_name(RequestKind kind);
+
 /// Where the system under test comes from.
 enum class SocKind {
   kAlpha,      ///< the paper's 15-core Alpha-like SoC (soc::alpha_soc)
@@ -104,12 +125,37 @@ struct SolverSpec {
   bool backend_explicit = false;
 };
 
+/// Kind kPtrace: the power trace to replay and the wall-clock length of
+/// one trace step. Exactly one of `path` (a .ptrace file on disk) or
+/// `text` (the .ptrace content inline — what `thermosched gen` emits so
+/// streams stay self-contained) must be set.
+struct PtraceSpec {
+  std::string path;           ///< .ptrace file (empty when text is used)
+  std::string text;           ///< inline .ptrace content (empty when path)
+  double step_duration = 0.001;  ///< seconds simulated per trace line [s]
+};
+
+/// Kind kChained: how the schedule's sessions are replayed back to back.
+struct ChainedSpec {
+  /// Idle tester seconds between consecutive sessions; the chip cools
+  /// (zero power) for this long before the next session starts.
+  double cooling_gap = 0.0;
+};
+
 struct ScenarioRequest {
   /// Caller-chosen identifier echoed into the result record. When empty,
   /// `thermosched serve` substitutes "line-<input line number>".
   std::string id;
 
+  RequestKind kind = RequestKind::kStclSweep;
+
   SocSelector soc;
+
+  /// kind == kPtrace only.
+  PtraceSpec ptrace;
+
+  /// kind == kChained only.
+  ChainedSpec chained;
 
   double tl = 155.0;  ///< temperature limit TL [deg C]
   StclSpan stcl;

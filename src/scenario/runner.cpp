@@ -1,9 +1,15 @@
 #include "scenario/runner.hpp"
 
+#include <utility>
+
+#include "core/safety_checker.hpp"
+#include "core/thermal_scheduler.hpp"
 #include "floorplan/flp_io.hpp"
 #include "soc/alpha.hpp"
 #include "soc/fig1.hpp"
 #include "soc/synthetic.hpp"
+#include "thermal/analyzer.hpp"
+#include "thermal/ptrace_io.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
@@ -29,8 +35,42 @@ JsonValue to_json(const ScenarioResult& result) {
     out.set("error", JsonValue::string(result.error));
     return out;
   }
+  out.set("kind", JsonValue::string(request_kind_name(result.kind)));
   out.set("soc", JsonValue::string(result.soc_name));
   out.set("cores", JsonValue::number(static_cast<double>(result.cores)));
+  if (result.kind == RequestKind::kPtrace) {
+    JsonValue trace = JsonValue::object();
+    trace.set("steps",
+              JsonValue::number(static_cast<double>(result.ptrace.steps)));
+    trace.set("duration", JsonValue::number(result.ptrace.duration));
+    trace.set("max_temperature",
+              JsonValue::number(result.ptrace.max_temperature));
+    trace.set("hottest", JsonValue::string(result.ptrace.hottest));
+    out.set("trace", std::move(trace));
+    out.set("simulation_effort", JsonValue::number(result.simulation_effort));
+    return out;
+  }
+  if (result.kind == RequestKind::kChained) {
+    JsonValue schedule = JsonValue::object();
+    schedule.set("stcl", JsonValue::number(result.chained.stcl));
+    schedule.set("length", JsonValue::number(result.chained.schedule_length));
+    schedule.set("sessions",
+                 JsonValue::number(static_cast<double>(result.chained.sessions)));
+    schedule.set("effective_tl", JsonValue::number(result.chained.effective_tl));
+    out.set("schedule", std::move(schedule));
+    JsonValue chained = JsonValue::object();
+    chained.set("cooling_gap", JsonValue::number(result.chained.cooling_gap));
+    chained.set("independent_max_temperature",
+                JsonValue::number(result.chained.independent_max));
+    chained.set("chained_max_temperature",
+                JsonValue::number(result.chained.chained_max));
+    chained.set("violations", JsonValue::number(static_cast<double>(
+                                  result.chained.violations)));
+    chained.set("safe", JsonValue::boolean(result.chained.safe));
+    out.set("chained", std::move(chained));
+    out.set("simulation_effort", JsonValue::number(result.simulation_effort));
+    return out;
+  }
   JsonValue points = JsonValue::array();
   for (const core::StclSweepPoint& point : result.points) {
     JsonValue p = JsonValue::object();
@@ -121,39 +161,146 @@ ScenarioRunner::Stats ScenarioRunner::stats() const {
   return stats_;
 }
 
+namespace {
+
+void run_stcl_sweep(const ScenarioRequest& request, const core::SocSpec& soc,
+                    const std::shared_ptr<const thermal::RCModel>& model,
+                    ScenarioResult& result) {
+  core::StclSweepConfig config;
+  config.scheduler.temperature_limit = request.tl;
+  config.scheduler.weight_factor = request.weight_factor;
+  config.scheduler.solo_policy = request.solo_policy;
+  config.scheduler.core_order = request.core_order;
+  config.scheduler.model.stc_scale = request.stc_scale > 0.0
+                                         ? request.stc_scale
+                                         : auto_stc_scale(request.soc.kind);
+  config.analyzer.dt = request.solver.dt;
+  config.analyzer.transient = request.solver.transient;
+  config.analyzer.backend = request.solver.backend;
+  // threads = 1: runs inline on this thread — serve already fans
+  // *requests* across a pool, so per-request point loops stay serial.
+  config.threads = 1;
+
+  result.points = core::sweep_stcl(soc, model, request.stcl.values(), config);
+  for (const core::StclSweepPoint& point : result.points) {
+    result.simulation_effort += point.simulation_effort;
+  }
+}
+
+void run_ptrace(const ScenarioRequest& request, const core::SocSpec& soc,
+                const std::shared_ptr<const thermal::RCModel>& model,
+                ScenarioResult& result) {
+  const thermal::PowerTrace trace =
+      (request.ptrace.text.empty()
+           ? thermal::load_ptrace(request.ptrace.path)
+           : thermal::parse_ptrace_string(request.ptrace.text))
+          .aligned_to(soc.flp);
+  if (trace.step_count() == 0) {
+    throw InvalidArgument("ptrace contains no time steps");
+  }
+
+  thermal::ThermalAnalyzer::Options options;
+  options.dt = request.solver.dt;
+  options.transient = true;  // enforced at parse: replay carries state
+  options.backend = request.solver.backend;
+  thermal::ThermalAnalyzer analyzer(model, options);
+
+  std::vector<double> state = analyzer.ambient_node_state();
+  std::size_t hottest = 0;
+  result.ptrace.steps = trace.step_count();
+  result.ptrace.duration =
+      static_cast<double>(trace.step_count()) * request.ptrace.step_duration;
+  for (const std::vector<double>& row : trace.steps) {
+    thermal::ThermalAnalyzer::Chained step = analyzer.simulate_session_from(
+        row, request.ptrace.step_duration, state);
+    state = std::move(step.final_state);
+    if (step.session.max_temperature > result.ptrace.max_temperature) {
+      result.ptrace.max_temperature = step.session.max_temperature;
+      hottest = step.session.hottest_block;
+    }
+  }
+  result.ptrace.hottest = soc.flp.block(hottest).name;
+  result.simulation_effort = analyzer.simulation_effort();
+}
+
+void run_chained(const ScenarioRequest& request, const core::SocSpec& soc,
+                 const std::shared_ptr<const thermal::RCModel>& model,
+                 ScenarioResult& result) {
+  core::ThermalSchedulerOptions options;
+  options.temperature_limit = request.tl;
+  options.stc_limit = request.stcl.min;  // single value, enforced at parse
+  options.weight_factor = request.weight_factor;
+  options.solo_policy = request.solo_policy;
+  options.core_order = request.core_order;
+  options.model.stc_scale = request.stc_scale > 0.0
+                                ? request.stc_scale
+                                : auto_stc_scale(request.soc.kind);
+
+  thermal::ThermalAnalyzer::Options sched_options;
+  sched_options.dt = request.solver.dt;
+  sched_options.transient = request.solver.transient;
+  sched_options.backend = request.solver.backend;
+  thermal::ThermalAnalyzer sched_analyzer(model, sched_options);
+
+  const core::ThermalAwareScheduler scheduler(options);
+  const core::ScheduleResult sched = scheduler.generate(soc, sched_analyzer);
+
+  // The chained replay always needs transient state carry-over, whatever
+  // oracle the schedule was *generated* with.
+  thermal::ThermalAnalyzer::Options check_options = sched_options;
+  check_options.transient = true;
+  thermal::ThermalAnalyzer check_analyzer(model, check_options);
+  core::SafetyChecker::Options chain;
+  chain.chained = true;
+  chain.cooling_gap = request.chained.cooling_gap;
+  const core::SafetyChecker checker(scheduler.effective_temperature_limit(),
+                                    chain);
+  const core::SafetyReport report =
+      checker.check(soc, sched.schedule, check_analyzer);
+
+  result.chained.stcl = request.stcl.min;
+  result.chained.schedule_length = sched.schedule_length;
+  result.chained.sessions = sched.schedule.session_count();
+  result.chained.effective_tl = scheduler.effective_temperature_limit();
+  result.chained.cooling_gap = request.chained.cooling_gap;
+  result.chained.independent_max = sched.max_temperature;
+  result.chained.chained_max = report.max_temperature;
+  result.chained.violations = report.violations.size();
+  result.chained.safe = report.safe;
+  result.simulation_effort =
+      sched_analyzer.simulation_effort() + check_analyzer.simulation_effort();
+}
+
+}  // namespace
+
 ScenarioResult ScenarioRunner::run(const ScenarioRequest& request) {
   ScenarioResult result;
   result.id = request.id;
+  result.kind = request.kind;
   try {
     const core::SocSpec soc = build_soc(request.soc);
     const auto model = model_for(request.soc, soc);
     result.soc_name = soc.name;
     result.cores = soc.core_count();
 
-    core::StclSweepConfig config;
-    config.scheduler.temperature_limit = request.tl;
-    config.scheduler.weight_factor = request.weight_factor;
-    config.scheduler.solo_policy = request.solo_policy;
-    config.scheduler.core_order = request.core_order;
-    config.scheduler.model.stc_scale = request.stc_scale > 0.0
-                                           ? request.stc_scale
-                                           : auto_stc_scale(request.soc.kind);
-    config.analyzer.dt = request.solver.dt;
-    config.analyzer.transient = request.solver.transient;
-    config.analyzer.backend = request.solver.backend;
-    // threads = 1: runs inline on this thread — serve already fans
-    // *requests* across a pool, so per-request point loops stay serial.
-    config.threads = 1;
-
-    result.points = core::sweep_stcl(soc, model, request.stcl.values(), config);
-    for (const core::StclSweepPoint& point : result.points) {
-      result.simulation_effort += point.simulation_effort;
+    switch (request.kind) {
+      case RequestKind::kStclSweep:
+        run_stcl_sweep(request, soc, model, result);
+        break;
+      case RequestKind::kPtrace:
+        run_ptrace(request, soc, model, result);
+        break;
+      case RequestKind::kChained:
+        run_chained(request, soc, model, result);
+        break;
     }
     result.ok = true;
   } catch (const Error& e) {
     result.ok = false;
     result.error = e.what();
     result.points.clear();
+    result.ptrace = PtraceOutcome{};
+    result.chained = ChainedOutcome{};
     result.simulation_effort = 0.0;
   }
   return result;

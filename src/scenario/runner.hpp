@@ -43,14 +43,42 @@ namespace thermo::scenario {
 /// to_json (schema in docs/SERVE.md). Points are the same
 /// core::StclSweepPoint the `thermosched sweep` path produces — the
 /// runner lowers onto core::sweep_stcl rather than reimplementing it.
+/// kind == kPtrace: what the trace replay observed.
+struct PtraceOutcome {
+  std::size_t steps = 0;          ///< trace lines replayed
+  double duration = 0.0;          ///< steps * step_duration [s]
+  double max_temperature = 0.0;   ///< hottest block across all steps [deg C]
+  std::string hottest;            ///< name of that block
+};
+
+/// kind == kChained: the schedule plus its chained re-validation.
+struct ChainedOutcome {
+  double stcl = 0.0;
+  double schedule_length = 0.0;   ///< [s]
+  std::size_t sessions = 0;
+  double effective_tl = 0.0;      ///< after any raise-limit adjustment
+  double cooling_gap = 0.0;       ///< [s]
+  /// Hottest core under the paper's independent-session assumption (the
+  /// scheduler's own oracle, every session starting from ambient)...
+  double independent_max = 0.0;
+  /// ...and under chained replay with residual heat carry-over. The gap
+  /// between the two is the quantity this request kind measures.
+  double chained_max = 0.0;
+  std::size_t violations = 0;     ///< chained limit violations
+  bool safe = true;               ///< no chained violation
+};
+
 struct ScenarioResult {
   std::string id;
+  RequestKind kind = RequestKind::kStclSweep;
   bool ok = false;
   std::string error;     ///< set when !ok
   std::string soc_name;  ///< empty when the SoC could not be built
   std::size_t cores = 0;
-  /// One point per STCL value, in request order.
+  /// One point per STCL value, in request order (kind == kStclSweep).
   std::vector<core::StclSweepPoint> points;
+  PtraceOutcome ptrace;    ///< kind == kPtrace
+  ChainedOutcome chained;  ///< kind == kChained
   /// Total simulated seconds across all points — the paper's effort
   /// metric, and the deterministic "timing" field of the record (wall
   /// time would break 1-vs-N-thread reproducibility; serve reports it

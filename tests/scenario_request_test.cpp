@@ -29,7 +29,8 @@ std::string normalize(const std::string& line) {
 // Deliberately a golden string: any change to the canonical form is a
 // schema change and must show up in this test and docs/SERVE.md.
 constexpr const char* kDefaultGolden =
-    R"({"id":"","soc":{"kind":"alpha","power_scale":1},"tl":155,"stcl":50,)"
+    R"({"id":"","kind":"stcl_sweep",)"
+    R"("soc":{"kind":"alpha","power_scale":1},"tl":155,"stcl":50,)"
     R"("stc_scale":0,"weight_factor":1.1,"solo_policy":"raise-limit",)"
     R"("core_order":"desc-solo-tc",)"
     R"("solver":{"dt":0.001,"transient":true,"backend":"auto"}})";
@@ -58,7 +59,8 @@ TEST(ScenarioGolden, CanonicalFormIsAFixpoint) {
 TEST(ScenarioGolden, SyntheticFullForm) {
   EXPECT_EQ(
       normalize(R"({"id":"s","soc":{"kind":"synthetic","seed":7,"cores":9}})"),
-      R"({"id":"s","soc":{"kind":"synthetic","seed":7,"cores":9,)"
+      R"({"id":"s","kind":"stcl_sweep",)"
+      R"("soc":{"kind":"synthetic","seed":7,"cores":9,)"
       R"("chip_width":0.016,"chip_height":0.016,"power_density_min":2e+05,)"
       R"("power_density_max":2e+06,"test_length_min":1,"test_length_max":1,)"
       R"("power_scale":1},"tl":155,"stcl":50,"stc_scale":0,)"

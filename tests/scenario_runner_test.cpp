@@ -117,7 +117,7 @@ TEST(ScenarioResultJson, CanonicalRecordShape) {
   result.simulation_effort = 23.0;
   EXPECT_EQ(
       to_json(result).dump(),
-      R"({"id":"r","ok":true,"soc":"alpha","cores":15,"points":[)"
+      R"({"id":"r","ok":true,"kind":"stcl_sweep","soc":"alpha","cores":15,"points":[)"
       R"({"stcl":50,"schedule_length":5,"simulation_effort":23,"sessions":5,)"
       R"("max_temperature":150.5,"discarded_sessions":2,"effective_tl":155}],)"
       R"("simulation_effort":23})");
