@@ -24,7 +24,13 @@
 //             Schema: docs/SERVE.md.
 //             Options: --in PATH|-, --out PATH|-, --threads,
 //             --schedule-policy fifo|ljf, --dedup on|off,
-//             --summary-json PATH
+//             --summary-json PATH, --cache-dir PATH (persistent
+//             disk-backed result cache — docs/PERSIST.md)
+//   cache     Inspect or maintain a --cache-dir directory:
+//             `cache stats` prints store statistics, `cache verify`
+//             re-checksums every record (exit 1 when damage is found),
+//             `cache compact` rewrites live records into one segment.
+//             Options: --cache-dir PATH (required)
 //   gen       Emit a deterministic JSONL request stream for serve
 //             (src/gen): Zipf-skewed sizes spanning the dense/sparse
 //             crossover, tunable duplication rate, request-kind mix
@@ -49,7 +55,9 @@
 
 #include "core/stcl_sweep.hpp"
 #include "core/thermal_scheduler.hpp"
+#include "dispatch/disk_result_memo.hpp"
 #include "dispatch/work_queue.hpp"
+#include "persist/segment_store.hpp"
 #include "floorplan/flp_io.hpp"
 #include "gen/generator.hpp"
 #include "scenario/serve.hpp"
@@ -91,6 +99,7 @@ struct CommonArgs {
   std::string schedule_policy = "fifo";
   std::string dedup = "on";
   std::string summary_json_path;
+  std::string cache_dir;  // serve + cache (docs/PERSIST.md)
   // schedule/sweep/serve: thermal solver backend (docs/SOLVERS.md)
   std::string solver_backend = "auto";
   // gen-only knobs (docs/GEN.md)
@@ -166,6 +175,10 @@ void print_global_usage(std::ostream& out) {
          "            [--in PATH|-] [--out PATH|-] [--threads N]\n"
          "            [--schedule-policy fifo|ljf] [--dedup on|off]\n"
          "            [--summary-json PATH] [--solver-backend B]\n"
+         "            [--cache-dir PATH]\n"
+         "  cache     Inspect/maintain a --cache-dir result cache\n"
+         "            (docs/PERSIST.md): stats | verify | compact\n"
+         "            --cache-dir PATH\n"
          "  gen       Emit a deterministic JSONL request stream for serve\n"
          "            (byte-identical for identical flags; docs/GEN.md)\n"
          "            [--count N] [--seed S] [--zipf Z] [--dup R]\n"
@@ -190,6 +203,12 @@ void print_global_usage(std::ostream& out) {
          "requests execute once. Neither changes the output bytes.\n"
          "--summary-json writes per-batch execution stats (makespan,\n"
          "tail latency, memo hit rate, per-request timings) to PATH.\n"
+         "--cache-dir persists result records to a crash-safe on-disk\n"
+         "store keyed by request content: a restarted server answers\n"
+         "previously computed requests from disk without executing them\n"
+         "(byte-identically; docs/PERSIST.md). Requires dedup on.\n"
+         "`thermosched cache verify --cache-dir PATH` exits 1 when any\n"
+         "record is damaged; undamaged records are unaffected.\n"
          "\n"
          "exit codes: 0 success; 1 runtime error (bad input file, scheduler\n"
          "failure, unwritable --out/--summary-json path); 2 usage error\n"
@@ -352,6 +371,15 @@ int cmd_serve(const CommonArgs& args) {
   options.default_backend = parse_solver_backend(args.solver_backend);
   options.policy = parse_schedule_policy(args.schedule_policy);
   options.dedup = parse_dedup(args.dedup);
+  std::unique_ptr<dispatch::DiskResultMemo> disk_memo;
+  if (!args.cache_dir.empty()) {
+    disk_memo = std::make_unique<dispatch::DiskResultMemo>(args.cache_dir);
+    options.disk_memo = disk_memo.get();
+    if (!options.dedup) {
+      std::cerr << "note: --cache-dir has no effect with --dedup off "
+                   "(results are keyed by request content)\n";
+    }
+  }
   const scenario::ServeSummary summary =
       scenario::serve_stream(in, out, runner, options);
   // A full disk or closed pipe must be a runtime error, not a silent
@@ -394,7 +422,13 @@ int cmd_serve(const CommonArgs& args) {
             << (summary.dedup ? "on" : "off") << "); memo hits "
             << summary.memo_hits << "/" << summary.requests
             << "; models built " << summary.runner.model_misses
-            << ", reused " << summary.runner.model_hits << '\n';
+            << ", reused " << summary.runner.model_hits;
+  if (summary.disk_cache_enabled) {
+    std::cerr << "; disk cache: " << summary.disk_hits << " hits, "
+              << summary.disk_records << " records in "
+              << summary.disk_segments << " segments";
+  }
+  std::cerr << '\n';
   if (args.out_path == "-") return kExitOk;
   // A short confirmation so the smoke harness (non-empty stdout) and
   // humans both see where the records went.
@@ -447,6 +481,55 @@ int cmd_gen(const CommonArgs& args) {
   return kExitOk;
 }
 
+int cmd_cache(const std::string& action, const CommonArgs& args) {
+  if (args.cache_dir.empty()) {
+    throw InvalidArgument("cache " + action + " requires --cache-dir PATH");
+  }
+  // Inspection never creates or destroys data: a missing directory is an
+  // error, and a schema mismatch is reported instead of wiped (only the
+  // serving path — which owns the cache — may invalidate it).
+  persist::StoreOptions store_options;
+  store_options.schema_revision = dispatch::kResultSchemaRevision;
+  store_options.schema_policy = persist::SchemaPolicy::kFailOnMismatch;
+  store_options.create_if_missing = false;
+  persist::SegmentStore store(args.cache_dir, store_options);
+
+  if (action == "stats") {
+    const persist::SegmentStore::Stats stats = store.stats();
+    Table table({"metric", "value"});
+    table.add_row({"records", std::to_string(stats.records)});
+    table.add_row({"segments", std::to_string(stats.segments)});
+    table.add_row({"disk bytes", std::to_string(stats.disk_bytes)});
+    table.add_row({"schema revision", std::to_string(stats.schema_revision)});
+    table.add_row({"damaged frames", std::to_string(stats.damaged_at_open)});
+    if (args.csv) table.print_csv(std::cout);
+    else table.print(std::cout);
+    return kExitOk;
+  }
+
+  if (action == "verify") {
+    const persist::SegmentStore::VerifyReport report = store.verify();
+    for (const persist::SegmentStore::Damage& damage : report.damage) {
+      std::cout << "damage: " << damage.segment << " offset " << damage.offset
+                << ": " << damage.reason << '\n';
+    }
+    std::cout << "verified " << report.segments << " segments: "
+              << report.valid_records << " valid records, "
+              << report.damage.size() << " damaged\n";
+    // Damage is a runtime finding, not a usage mistake — exit 1 so
+    // scripts can gate on cache health.
+    return report.clean() ? kExitOk : kExitRuntimeError;
+  }
+
+  const persist::SegmentStore::Stats before = store.stats();
+  const std::size_t carried = store.compact();
+  const persist::SegmentStore::Stats after = store.stats();
+  std::cout << "compacted " << before.segments << " segments ("
+            << before.disk_bytes << " bytes) into 1 (" << after.disk_bytes
+            << " bytes), " << carried << " records kept\n";
+  return kExitOk;
+}
+
 int cmd_info(const CommonArgs& args) {
   const core::SocSpec soc = build_soc(args);
   std::cout << "SoC '" << soc.name << "': " << soc.core_count()
@@ -486,12 +569,33 @@ int main(int argc, char** argv) {
   const bool is_sweep = command == "sweep";
   const bool is_serve = command == "serve";
   const bool is_gen = command == "gen";
+  const bool is_cache = command == "cache";
   const bool is_info = command == "info";
   if (!is_schedule && !is_simulate && !is_sweep && !is_serve && !is_gen &&
-      !is_info) {
+      !is_cache && !is_info) {
     std::cerr << "unknown command '" << command << "'\n\n";
     print_global_usage(std::cerr);
     return kExitUsageError;
+  }
+
+  // `cache` takes an action word before its flags; validate it up front
+  // so `thermosched cache frobnicate` is a usage error, not a silent
+  // default.
+  std::string cache_action;
+  if (is_cache) {
+    if (argc < 3) {
+      std::cerr << "error: cache requires an action: stats, verify, or "
+                   "compact\n";
+      return kExitUsageError;
+    }
+    cache_action = argv[2];
+    if (cache_action != "stats" && cache_action != "verify" &&
+        cache_action != "compact" && cache_action != "--help" &&
+        cache_action != "-h") {
+      std::cerr << "error: unknown cache action '" << cache_action
+                << "' (expected stats, verify, or compact)\n";
+      return kExitUsageError;
+    }
   }
 
   // Each command registers exactly the flags it understands, so
@@ -500,7 +604,7 @@ int main(int argc, char** argv) {
   CommonArgs args;
   CliParser cli("thermosched " + command, "Thermal-safe SoC test scheduling");
   bool alpha_flag = false;
-  if (!is_serve && !is_gen) {
+  if (!is_serve && !is_gen && !is_cache) {
     cli.add_string("flp", "HotSpot .flp floorplan file", &args.flp_path);
     cli.add_double("density", "Uniform test power density for --flp [W/m^2]",
                    &args.density);
@@ -540,6 +644,16 @@ int main(int argc, char** argv) {
                    "latency, memo hit rate, per-request timings) to PATH",
                    &args.summary_json_path);
   }
+  if (is_serve || is_cache) {
+    cli.add_string("cache-dir",
+                   "Directory of the persistent result cache "
+                   "(docs/PERSIST.md); serve: created on first use, "
+                   "results survive restarts",
+                   &args.cache_dir);
+  }
+  if (is_cache) {
+    cli.add_flag("csv", "CSV output (stats)", &args.csv);
+  }
   if (is_gen) {
     cli.add_int("count", "Request lines to emit (duplicates included)",
                 &args.gen_count);
@@ -578,8 +692,14 @@ int main(int argc, char** argv) {
                    &args.solver_backend);
   }
 
+  // For `cache <action>` the flags start after the action word; for
+  // `cache --help` the help flag itself must reach the parser.
+  const int arg_offset =
+      is_cache && cache_action != "--help" && cache_action != "-h" ? 2 : 1;
   try {
-    if (!cli.parse(argc - 1, argv + 1)) return kExitOk;  // --help
+    if (!cli.parse(argc - arg_offset, argv + arg_offset)) {
+      return kExitOk;  // --help
+    }
     // A malformed backend/policy/dedup value is a usage error like any
     // other malformed flag value, so validate it before the command runs.
     if (is_schedule || is_sweep || is_serve) {
@@ -610,6 +730,7 @@ int main(int argc, char** argv) {
     if (is_sweep) return cmd_sweep(args);
     if (is_serve) return cmd_serve(args);
     if (is_gen) return cmd_gen(args);
+    if (is_cache) return cmd_cache(cache_action, args);
     return cmd_info(args);
   } catch (const Error& e) {
     std::cerr << "error: " << e.what() << '\n';

@@ -1,0 +1,198 @@
+// Persistent result-cache record: how much does `serve --cache-dir` buy
+// a restarted process, and does the cache keep its contracts while
+// buying it?
+//
+//   ./build/bench/bench_persist                      # human-readable table
+//   ./build/bench/bench_persist --json BENCH_persist.json
+//
+// One seeded generated batch (duplicates included) is served three
+// times over one cache directory, each serve a fresh "process" (cold
+// ScenarioRunner, cold DiskResultMemo):
+//   run 1  cold cache  — every distinct request executes and persists;
+//   run 2  warm cache  — must execute NOTHING: every distinct request
+//          answered from disk, byte-identical output;
+//   run 3  after verify() + compact() — still byte-identical, proving
+//          maintenance never changes served bytes.
+//
+// The JSON record (schema "thermo.bench_persist.v1") is CI-gated; the
+// bench exits non-zero when any of these fail:
+//   * byte_identical        run 2 and run 3 bytes == run 1 bytes;
+//   * warm_executed == 0    the warm process recomputed nothing;
+//   * disk_hit_rate >= 0.99 disk answers per distinct request;
+//   * verify_clean          no checksum damage after the runs;
+//   * speedup >= 2 when gate_enforced (run 1 took >= 50 ms — below
+//     that the serve is too cheap for the ratio to mean anything; the
+//     value is still recorded).
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "dispatch/disk_result_memo.hpp"
+#include "gen/generator.hpp"
+#include "scenario/serve.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace thermo;
+
+struct Run {
+  std::string output;
+  scenario::ServeSummary summary;
+};
+
+/// One "process": everything in-memory is constructed and torn down
+/// here; only the cache directory survives between calls.
+Run serve_process(const std::string& requests, const std::string& cache_dir,
+                  std::size_t threads) {
+  std::istringstream in(requests);
+  std::ostringstream out;
+  scenario::ScenarioRunner runner;
+  dispatch::DiskResultMemo memo(cache_dir);
+  scenario::ServeOptions options;
+  options.threads = threads;
+  options.disk_memo = &memo;
+  const auto summary = scenario::serve_stream(in, out, runner, options);
+  return Run{out.str(), summary};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long long count = 80;
+  long long seed = 9;
+  double dup_rate = 0.3;
+  long long threads = 0;
+  std::string cache_dir = "bench_persist_cache";
+  std::string json_path;
+  CliParser cli("bench_persist",
+                "Cold-vs-warm record for the disk-backed result cache");
+  cli.add_int("count", "Generated batch size (duplicates included)", &count);
+  cli.add_int("seed", "Generator seed", &seed);
+  cli.add_double("dup", "Duplicate-line rate in [0,1)", &dup_rate);
+  cli.add_int("threads", "Worker threads (0 = hardware)", &threads);
+  cli.add_string("cache-dir", "Cache directory (wiped at start)", &cache_dir);
+  cli.add_string("json", "Write BENCH_persist.json-style record here",
+                 &json_path);
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+    THERMO_REQUIRE(count >= 1, "--count must be >= 1");
+    THERMO_REQUIRE(seed >= 0, "--seed must be >= 0");
+    THERMO_REQUIRE(!cache_dir.empty(), "--cache-dir must be non-empty");
+
+    gen::GenConfig config;
+    config.seed = static_cast<std::uint64_t>(seed);
+    config.count = static_cast<std::size_t>(count);
+    config.dup_rate = dup_rate;
+    // Small-core ladder: the bench measures the CACHE, not the solver —
+    // whale requests would just stretch run 1.
+    config.core_ladder = {8, 16, 34, 64};
+    const gen::GeneratedStream stream = gen::generate_stream(config);
+    std::string requests;
+    for (const std::string& line : stream.lines) requests += line + "\n";
+
+    std::filesystem::remove_all(cache_dir);  // always a cold start
+
+    const Run cold = serve_process(requests, cache_dir,
+                                   static_cast<std::size_t>(threads));
+    THERMO_REQUIRE(cold.summary.failed == 0,
+                   "generated batch had failing requests");
+    const Run warm = serve_process(requests, cache_dir,
+                                   static_cast<std::size_t>(threads));
+
+    // Maintenance pass in its own "process": verify, compact, reserve.
+    bool verify_clean = false;
+    std::size_t segments_before = 0;
+    std::size_t segments_after = 0;
+    {
+      dispatch::DiskResultMemo memo(cache_dir);
+      verify_clean = memo.store().verify().clean();
+      segments_before = memo.store().stats().segments;
+      memo.store().compact();
+      segments_after = memo.store().stats().segments;
+    }
+    const Run compacted = serve_process(requests, cache_dir,
+                                        static_cast<std::size_t>(threads));
+
+    const bool byte_identical = warm.output == cold.output &&
+                                compacted.output == cold.output;
+    const std::size_t distinct = stream.stats.fresh;
+    const double disk_hit_rate =
+        distinct > 0 ? static_cast<double>(warm.summary.disk_hits) /
+                           static_cast<double>(distinct)
+                     : 0.0;
+    const double speedup = warm.summary.wall_seconds > 0.0
+                               ? cold.summary.wall_seconds /
+                                     warm.summary.wall_seconds
+                               : 0.0;
+    const bool gate_enforced = cold.summary.wall_seconds >= 0.05;
+    const bool ok = byte_identical && warm.summary.executed == 0 &&
+                    disk_hit_rate >= 0.99 && verify_clean &&
+                    (!gate_enforced || speedup >= 2.0);
+
+    std::cout << "persist cache: " << cold.summary.requests << " requests, "
+              << distinct << " distinct (dup rate "
+              << format_double(dup_rate, 2) << ")\n"
+              << "  cold run : " << format_double(cold.summary.wall_seconds, 3)
+              << " s, executed " << cold.summary.executed << '\n'
+              << "  warm run : " << format_double(warm.summary.wall_seconds, 3)
+              << " s, executed " << warm.summary.executed << ", "
+              << warm.summary.disk_hits << " disk hits ("
+              << format_double(100.0 * disk_hit_rate, 1) << "%)\n"
+              << "  speedup  : " << format_double(speedup, 2) << "x"
+              << (gate_enforced ? "" : " (not gated: cold run < 50 ms)")
+              << '\n'
+              << "  compact  : " << segments_before << " -> "
+              << segments_after << " segments, verify "
+              << (verify_clean ? "clean" : "DAMAGED") << '\n'
+              << "  bytes    : "
+              << (byte_identical ? "identical across all runs"
+                                 : "DIFFER — cache changed served bytes")
+              << '\n';
+
+    if (!json_path.empty()) {
+      JsonValue record = JsonValue::object();
+      record.set("schema", JsonValue::string("thermo.bench_persist.v1"));
+      record.set("requests",
+                 JsonValue::number(static_cast<double>(cold.summary.requests)));
+      record.set("distinct", JsonValue::number(static_cast<double>(distinct)));
+      record.set("seed", JsonValue::number(static_cast<double>(seed)));
+      record.set("dup_rate", JsonValue::number(dup_rate));
+      record.set("cold_run_s", JsonValue::number(cold.summary.wall_seconds));
+      record.set("warm_run_s", JsonValue::number(warm.summary.wall_seconds));
+      record.set("speedup", JsonValue::number(speedup));
+      record.set("speedup_gate_enforced", JsonValue::boolean(gate_enforced));
+      record.set("warm_executed", JsonValue::number(
+                                      static_cast<double>(warm.summary.executed)));
+      record.set("disk_hits", JsonValue::number(
+                                  static_cast<double>(warm.summary.disk_hits)));
+      record.set("disk_hit_rate", JsonValue::number(disk_hit_rate));
+      record.set("disk_records",
+                 JsonValue::number(static_cast<double>(warm.summary.disk_records)));
+      record.set("disk_bytes",
+                 JsonValue::number(static_cast<double>(warm.summary.disk_bytes)));
+      record.set("segments_before_compact",
+                 JsonValue::number(static_cast<double>(segments_before)));
+      record.set("segments_after_compact",
+                 JsonValue::number(static_cast<double>(segments_after)));
+      record.set("byte_identical", JsonValue::boolean(byte_identical));
+      record.set("verify_clean", JsonValue::boolean(verify_clean));
+      std::ofstream out(json_path);
+      THERMO_REQUIRE(static_cast<bool>(out),
+                     "cannot open --json path for writing");
+      out << record.dump() << '\n';
+      out.flush();
+      THERMO_REQUIRE(out.good(), "failed writing '" + json_path + "'");
+      std::cout << "wrote " << json_path << '\n';
+    }
+    return ok ? 0 : 1;
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -1,0 +1,152 @@
+# Cross-process persistent-cache smoke: `thermosched serve --cache-dir`
+# must let a COLD process (new invocation, same cache directory) serve
+# the same generated batch byte-identically without executing anything,
+# and the `thermosched cache` maintenance verbs must work against the
+# directory the serves left behind:
+#   1. gen a seeded stream (duplicates included);
+#   2. serve it with --cache-dir (cold cache) + --summary-json;
+#   3. `cache stats` sees the records; `cache verify` exits 0 (clean);
+#   4. serve the SAME stream again — a separate process — and require
+#      byte-identical results, executed == 0, and a disk-hit count equal
+#      to the distinct-request count (>= 99% by construction);
+#   5. `cache compact` squeezes the segments; a third serve still
+#      reproduces the reference bytes.
+#
+# Usage: cmake -DSCHED_BIN=<thermosched> -DWORK_DIR=<scratch dir>
+#              -P RunCacheSmoke.cmake
+if(NOT SCHED_BIN OR NOT WORK_DIR)
+  message(FATAL_ERROR "SCHED_BIN and WORK_DIR must be set")
+endif()
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(requests "${WORK_DIR}/requests_cache.jsonl")
+set(cache_dir "${WORK_DIR}/cache")
+set(reference "${WORK_DIR}/results_cold.jsonl")
+set(count 60)
+
+execute_process(
+  COMMAND "${SCHED_BIN}" gen --count ${count} --seed 11 --dup 0.3
+          --out "${requests}"
+  ERROR_VARIABLE gen_err
+  RESULT_VARIABLE gen_rc)
+if(NOT gen_rc EQUAL 0)
+  message(FATAL_ERROR "thermosched gen exited with ${gen_rc}\n${gen_err}")
+endif()
+
+# Run 1: cold cache. Every distinct request executes and is persisted.
+execute_process(
+  COMMAND "${SCHED_BIN}" serve --in "${requests}" --out "${reference}"
+          --cache-dir "${cache_dir}" --threads 2
+          --summary-json "${WORK_DIR}/summary_cold.json"
+  ERROR_VARIABLE serve_err
+  RESULT_VARIABLE serve_rc)
+if(NOT serve_rc EQUAL 0)
+  message(FATAL_ERROR "cold serve exited with ${serve_rc}\n${serve_err}")
+endif()
+file(READ "${WORK_DIR}/summary_cold.json" cold_summary)
+string(JSON cold_enabled GET "${cold_summary}" disk_cache enabled)
+string(JSON cold_records GET "${cold_summary}" disk_cache records)
+string(JSON cold_executed GET "${cold_summary}" memo executed)
+if(NOT cold_enabled STREQUAL "ON")
+  message(FATAL_ERROR
+    "--cache-dir was passed but the summary says the disk cache was not "
+    "enabled:\n${cold_summary}")
+endif()
+if(NOT cold_records EQUAL cold_executed)
+  message(FATAL_ERROR
+    "cold serve executed ${cold_executed} requests but persisted "
+    "${cold_records} records — every executed record must be cached")
+endif()
+
+# The maintenance verbs work against what the serve left behind.
+execute_process(
+  COMMAND "${SCHED_BIN}" cache stats --cache-dir "${cache_dir}"
+  OUTPUT_VARIABLE stats_out
+  ERROR_VARIABLE stats_err
+  RESULT_VARIABLE stats_rc)
+if(NOT stats_rc EQUAL 0)
+  message(FATAL_ERROR "cache stats exited with ${stats_rc}\n${stats_err}")
+endif()
+string(FIND "${stats_out}" "${cold_records}" found_records)
+if(found_records EQUAL -1)
+  message(FATAL_ERROR
+    "cache stats does not report the ${cold_records} cached records:\n"
+    "${stats_out}")
+endif()
+execute_process(
+  COMMAND "${SCHED_BIN}" cache verify --cache-dir "${cache_dir}"
+  ERROR_VARIABLE verify_err
+  RESULT_VARIABLE verify_rc)
+if(NOT verify_rc EQUAL 0)
+  message(FATAL_ERROR
+    "cache verify found damage in a healthy cache (exit ${verify_rc})\n"
+    "${verify_err}")
+endif()
+
+# Run 2: a separate process over the same directory must answer the
+# whole batch from disk, byte-identically.
+execute_process(
+  COMMAND "${SCHED_BIN}" serve --in "${requests}"
+          --out "${WORK_DIR}/results_warm.jsonl"
+          --cache-dir "${cache_dir}" --threads 4 --schedule-policy ljf
+          --summary-json "${WORK_DIR}/summary_warm.json"
+  ERROR_VARIABLE serve_err
+  RESULT_VARIABLE serve_rc)
+if(NOT serve_rc EQUAL 0)
+  message(FATAL_ERROR "warm serve exited with ${serve_rc}\n${serve_err}")
+endif()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          "${reference}" "${WORK_DIR}/results_warm.jsonl"
+  RESULT_VARIABLE cmp_rc)
+if(NOT cmp_rc EQUAL 0)
+  message(FATAL_ERROR
+    "warm serve output differs from the cold run — the disk cache "
+    "changed served bytes")
+endif()
+file(READ "${WORK_DIR}/summary_warm.json" warm_summary)
+string(JSON warm_executed GET "${warm_summary}" memo executed)
+string(JSON warm_disk_hits GET "${warm_summary}" disk_cache hits)
+if(NOT warm_executed EQUAL 0)
+  message(FATAL_ERROR
+    "warm serve recomputed ${warm_executed} requests instead of serving "
+    "them from the cache:\n${warm_summary}")
+endif()
+if(NOT warm_disk_hits EQUAL cold_records)
+  message(FATAL_ERROR
+    "warm serve answered ${warm_disk_hits} requests from disk, expected "
+    "${cold_records} (one per distinct request):\n${warm_summary}")
+endif()
+
+# Compaction is invisible to served bytes.
+execute_process(
+  COMMAND "${SCHED_BIN}" cache compact --cache-dir "${cache_dir}"
+  ERROR_VARIABLE compact_err
+  RESULT_VARIABLE compact_rc)
+if(NOT compact_rc EQUAL 0)
+  message(FATAL_ERROR "cache compact exited with ${compact_rc}\n${compact_err}")
+endif()
+execute_process(
+  COMMAND "${SCHED_BIN}" serve --in "${requests}"
+          --out "${WORK_DIR}/results_compacted.jsonl"
+          --cache-dir "${cache_dir}" --threads 1
+  ERROR_VARIABLE serve_err
+  RESULT_VARIABLE serve_rc)
+if(NOT serve_rc EQUAL 0)
+  message(FATAL_ERROR
+    "post-compaction serve exited with ${serve_rc}\n${serve_err}")
+endif()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          "${reference}" "${WORK_DIR}/results_compacted.jsonl"
+  RESULT_VARIABLE cmp_rc)
+if(NOT cmp_rc EQUAL 0)
+  message(FATAL_ERROR
+    "post-compaction serve output differs from the cold run — "
+    "compaction changed served bytes")
+endif()
+
+message(STATUS
+  "cache smoke OK: ${count}-request stream served from a cold process "
+  "with ${warm_disk_hits}/${cold_records} disk hits, byte-identical "
+  "before and after compaction")

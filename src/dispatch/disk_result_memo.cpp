@@ -1,0 +1,50 @@
+#include "dispatch/disk_result_memo.hpp"
+
+#include <utility>
+
+namespace thermo::dispatch {
+
+namespace {
+
+persist::StoreOptions with_result_schema(persist::StoreOptions options) {
+  options.schema_revision = kResultSchemaRevision;
+  return options;
+}
+
+}  // namespace
+
+DiskResultMemo::DiskResultMemo(std::string dir, Options options)
+    : ResultMemo(options.memory_capacity),
+      store_(std::move(dir), with_result_schema(options.store)) {}
+
+std::optional<std::string> DiskResultMemo::find(std::string_view key) {
+  if (std::optional<std::string> record = ResultMemo::find(key)) {
+    return record;
+  }
+  std::optional<std::string> record;
+  try {
+    record = store_.get(key);
+  } catch (const persist::CrashError&) {
+    throw;  // an injected crash must never be absorbed into a miss
+  } catch (const persist::IoError&) {
+    // Transient read failure: the record stays on disk and stays
+    // indexed; for a CACHE the right degradation is a miss — the
+    // engine simply recomputes.
+    record = std::nullopt;
+  }
+  if (!record) return std::nullopt;
+  disk_hits_.fetch_add(1, std::memory_order_relaxed);
+  // Promote: repeat lookups of a hot key should not re-read and
+  // re-checksum the segment file every time.
+  ResultMemo::insert(key, *record);
+  return record;
+}
+
+void DiskResultMemo::insert(std::string_view key, std::string record) {
+  // Disk first: if the append fails, the memo must not hold a record in
+  // memory that a restarted process would silently be missing.
+  store_.put(key, record);
+  ResultMemo::insert(key, std::move(record));
+}
+
+}  // namespace thermo::dispatch

@@ -3,17 +3,12 @@
 #include <utility>
 
 #include "util/error.hpp"
+#include "util/hash.hpp"
 
 namespace thermo::dispatch {
 
 std::uint64_t fnv1a64(std::string_view bytes) {
-  // FNV-1a 64: offset basis / prime per the reference parameters.
-  std::uint64_t hash = 0xcbf29ce484222325ULL;
-  for (const char c : bytes) {
-    hash ^= static_cast<unsigned char>(c);
-    hash *= 0x100000001b3ULL;
-  }
-  return hash;
+  return ::thermo::fnv1a64(bytes);
 }
 
 ResultMemo::ResultMemo(std::size_t capacity) : capacity_(capacity) {
@@ -37,7 +32,12 @@ void ResultMemo::insert(std::string_view key, std::string record) {
   const auto it = entries_.find(key);
   if (it != entries_.end()) {
     // Racing duplicate executions produce identical bytes (the record is
-    // a pure function of the key's content); keep the first.
+    // a pure function of the key's content); keep the first. A divergent
+    // duplicate means some writer broke that purity — caching would then
+    // silently serve one of two different answers, so fail loudly.
+    THERMO_ENSURE(record == it->second.record,
+                  "divergent record inserted for an existing memo key — "
+                  "records must be pure functions of their keys");
     lru_.splice(lru_.begin(), lru_, it->second.recency);
     return;
   }

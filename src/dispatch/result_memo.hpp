@@ -20,6 +20,23 @@
 // thousands of entries per insert while workers contend on the mutex.
 // All operations are mutex-guarded; stats() reports hits/misses/
 // insertions/evictions for the serve summary and bench.
+//
+// Concurrency contract (tests/dispatch_test.cpp hammers it): every
+// operation, stats counters included, is serialized on one mutex, so
+// hits + misses always equals the number of find() calls and
+// insertions - evictions always equals entries, no matter how many
+// workers race. What the memo can NOT check by locking is the
+// single-writer-per-key *value* semantics it is built on: all writers
+// of one key must derive the record from the key's content, so racing
+// inserts carry identical bytes and first-insert-wins loses nothing.
+// The engine's dedup planning upholds this (one leader executes per
+// key); insert() enforces it with an identical-bytes invariant check —
+// a divergent record for a present key throws LogicError instead of
+// silently keeping either copy.
+//
+// find() and insert() are virtual so a batch engine holding a plain
+// `ResultMemo*` can transparently be handed a DiskResultMemo (the
+// disk-backed subclass layered on persist::SegmentStore).
 #pragma once
 
 #include <cstddef>
@@ -35,7 +52,9 @@ namespace thermo::dispatch {
 
 /// FNV-1a 64-bit over arbitrary bytes — the memo's content address,
 /// exposed for tests and for callers that want to log compact request
-/// digests.
+/// digests. Delegates to thermo::fnv1a64 (util/hash.hpp): the disk
+/// store addresses records with the SAME function, so memory and disk
+/// tiers agree on every key.
 std::uint64_t fnv1a64(std::string_view bytes);
 
 class ResultMemo {
@@ -45,18 +64,24 @@ class ResultMemo {
   static constexpr std::size_t kDefaultCapacity = 4096;
 
   explicit ResultMemo(std::size_t capacity = kDefaultCapacity);
+  virtual ~ResultMemo() = default;
+
+  ResultMemo(const ResultMemo&) = delete;
+  ResultMemo& operator=(const ResultMemo&) = delete;
 
   std::size_t capacity() const { return capacity_; }
 
   /// The record stored under `key`, or nullopt. Counts a hit or miss
   /// and refreshes the entry's LRU stamp.
-  std::optional<std::string> find(std::string_view key);
+  virtual std::optional<std::string> find(std::string_view key);
 
   /// Stores `record` under `key` (first insert wins on a racing
-  /// duplicate — both raced computations produced identical bytes, so
-  /// either copy is correct). Evicts the least recently used entry at
-  /// capacity.
-  void insert(std::string_view key, std::string record);
+  /// duplicate). Evicts the least recently used entry at capacity.
+  /// Invariant: a duplicate insert must carry bytes identical to the
+  /// resident record — records are pure functions of their keys, which
+  /// is the premise that makes first-insert-wins lossless. A divergent
+  /// duplicate throws LogicError.
+  virtual void insert(std::string_view key, std::string record);
 
   struct Stats {
     std::size_t hits = 0;

@@ -1,0 +1,337 @@
+#include "persist/fault_fs.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <algorithm>
+#include <utility>
+
+#if !defined(_WIN32)
+#include <unistd.h>
+#endif
+
+namespace thermo::persist {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// cstdio append handle. Durability contract: append() lands bytes in
+/// the stdio buffer, sync() pushes them through fflush + fsync; close()
+/// flushes (so a same-process reader sees the bytes) but deliberately
+/// does NOT fsync — SegmentStore ties acknowledgement to sync() alone.
+class RealWritableFile final : public WritableFile {
+ public:
+  RealWritableFile(std::FILE* file, std::string path)
+      : file_(file), path_(std::move(path)) {}
+
+  ~RealWritableFile() override {
+    try {
+      close();
+    } catch (const Error&) {
+      // Destruction models process exit: a flush failure here has no one
+      // left to report to.
+    }
+  }
+
+  void append(std::string_view bytes) override {
+    THERMO_REQUIRE(file_ != nullptr, "append on a closed file");
+    if (bytes.empty()) return;
+    const std::size_t written =
+        std::fwrite(bytes.data(), 1, bytes.size(), file_);
+    if (written != bytes.size()) {
+      throw IoError("short write to '" + path_ + "' (" +
+                    std::to_string(written) + " of " +
+                    std::to_string(bytes.size()) + " bytes)");
+    }
+  }
+
+  void sync() override {
+    THERMO_REQUIRE(file_ != nullptr, "sync on a closed file");
+    if (std::fflush(file_) != 0) {
+      throw IoError("flush failed for '" + path_ + "'");
+    }
+#if !defined(_WIN32)
+    if (::fsync(::fileno(file_)) != 0) {
+      throw IoError("fsync failed for '" + path_ + "'");
+    }
+#endif
+  }
+
+  void close() override {
+    if (file_ == nullptr) return;
+    std::FILE* file = file_;
+    file_ = nullptr;
+    if (std::fclose(file) != 0) {
+      throw IoError("close failed for '" + path_ + "'");
+    }
+  }
+
+ private:
+  std::FILE* file_;
+  std::string path_;
+};
+
+class RealFs final : public Fs {
+ public:
+  std::unique_ptr<WritableFile> open_append(const std::string& path) override {
+    std::FILE* file = std::fopen(path.c_str(), "ab");
+    if (file == nullptr) {
+      throw IoError("cannot open '" + path + "' for append");
+    }
+    return std::make_unique<RealWritableFile>(file, path);
+  }
+
+  std::string read_file(const std::string& path) override {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw IoError("cannot read '" + path + "'");
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    if (in.bad()) throw IoError("read failed for '" + path + "'");
+    return bytes;
+  }
+
+  std::string read_range(const std::string& path, std::uint64_t offset,
+                         std::size_t length) override {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw IoError("cannot read '" + path + "'");
+    in.seekg(static_cast<std::streamoff>(offset));
+    std::string bytes(length, '\0');
+    in.read(bytes.data(), static_cast<std::streamsize>(length));
+    if (static_cast<std::size_t>(in.gcount()) != length) {
+      throw IoError("range [" + std::to_string(offset) + ", +" +
+                    std::to_string(length) + ") overruns '" + path + "'");
+    }
+    return bytes;
+  }
+
+  std::vector<std::string> list_dir(const std::string& dir) override {
+    std::vector<std::string> names;
+    std::error_code ec;
+    for (const auto& entry : fs::directory_iterator(dir, ec)) {
+      if (entry.is_regular_file()) {
+        names.push_back(entry.path().filename().string());
+      }
+    }
+    // A missing directory is an empty listing, not an error: opening a
+    // store that does not exist yet must be expressible.
+    std::sort(names.begin(), names.end());
+    return names;
+  }
+
+  void create_directories(const std::string& dir) override {
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (ec) {
+      throw IoError("cannot create directory '" + dir + "': " + ec.message());
+    }
+  }
+
+  bool exists(const std::string& path) override {
+    std::error_code ec;
+    return fs::exists(path, ec);
+  }
+
+  std::uint64_t file_size(const std::string& path) override {
+    std::error_code ec;
+    const std::uintmax_t size = fs::file_size(path, ec);
+    if (ec) throw IoError("cannot stat '" + path + "': " + ec.message());
+    return static_cast<std::uint64_t>(size);
+  }
+
+  void rename_file(const std::string& from, const std::string& to) override {
+    std::error_code ec;
+    fs::rename(from, to, ec);
+    if (ec) {
+      throw IoError("cannot rename '" + from + "' to '" + to +
+                    "': " + ec.message());
+    }
+  }
+
+  void remove_file(const std::string& path) override {
+    std::error_code ec;
+    if (!fs::remove(path, ec) || ec) {
+      throw IoError("cannot remove '" + path + "'" +
+                    (ec ? ": " + ec.message() : std::string()));
+    }
+  }
+};
+
+/// What FaultFs::charge tells the operation wrapper to do.
+enum class FaultAction { kNone, kCrashAfterOp, kShortWrite, kTornWrite };
+
+}  // namespace
+
+Fs& real_fs() {
+  static RealFs instance;
+  return instance;
+}
+
+namespace {
+
+/// Decorates a WritableFile so appends/syncs on an open handle are
+/// charged (and faulted) like any other operation. close() is exempt:
+/// it is called from destructors during crash unwinding, where a throw
+/// would terminate the process for real.
+class FaultWritableFile final : public WritableFile {
+ public:
+  FaultWritableFile(FaultFs& fs, std::unique_ptr<WritableFile> base)
+      : fs_(fs), base_(std::move(base)) {}
+
+  ~FaultWritableFile() override { close(); }
+
+  void append(std::string_view bytes) override;
+  void sync() override {
+    const bool before = fs_.crashed();
+    fs_.charge(false);
+    base_->sync();
+    if (!before && fs_.crashed()) {
+      throw CrashError("injected crash after sync");
+    }
+  }
+  void close() override { base_->close(); }
+
+ private:
+  FaultFs& fs_;
+  std::unique_ptr<WritableFile> base_;
+};
+
+void FaultWritableFile::append(std::string_view bytes) {
+  const bool before = fs_.crashed();
+  const bool treat = fs_.charge(true);
+  if (!treat) {
+    base_->append(bytes);
+    if (!before && fs_.crashed()) {
+      throw CrashError("injected crash after append");
+    }
+    return;
+  }
+  // Short/torn write: a seeded prefix of the frame reaches "disk"; a
+  // torn write additionally smears 1..16 seeded garbage bytes after it
+  // (a sector that was mid-rewrite when the power went). Then the crash.
+  Rng& rng = fs_.torn_rng();
+  std::string partial{bytes.substr(
+      0, static_cast<std::size_t>(rng.uniform_index(bytes.size() + 1)))};
+  if (fs_.plan().kind == FaultKind::kTornWrite) {
+    const std::size_t garbage = 1 + static_cast<std::size_t>(rng.uniform_index(16));
+    for (std::size_t i = 0; i < garbage; ++i) {
+      partial.push_back(static_cast<char>(rng.next_u64() & 0xff));
+    }
+  }
+  if (!partial.empty()) base_->append(partial);
+  throw CrashError(fs_.plan().kind == FaultKind::kTornWrite
+                       ? "injected crash: torn write"
+                       : "injected crash: short write");
+}
+
+}  // namespace
+
+FaultFs::FaultFs(Fs& base, FaultPlan plan)
+    : base_(base), plan_(plan), rng_(plan.seed) {}
+
+bool FaultFs::charge(bool is_append) {
+  if (crashed_) throw CrashError("filesystem crashed (op after crash point)");
+  const std::size_t op = ops_++;
+  if (op != plan_.after_ops) return false;
+  switch (plan_.kind) {
+    case FaultKind::kFailOp:
+      // Transient failure: this op fails, the filesystem lives on.
+      throw IoError("injected I/O failure at op " + std::to_string(op));
+    case FaultKind::kCrashBefore:
+      crashed_ = true;
+      throw CrashError("injected crash before op " + std::to_string(op));
+    case FaultKind::kCrashAfter:
+      crashed_ = true;
+      return false;  // the wrapper performs the op, compares crashed()
+                     // before/after, and throws
+    case FaultKind::kShortWrite:
+    case FaultKind::kTornWrite:
+      crashed_ = true;
+      if (is_append) return true;  // the append applies the treatment
+      throw CrashError("injected crash before op " + std::to_string(op));
+  }
+  return false;
+}
+
+// kCrashAfter needs "do the op, then die". charge() above cannot run the
+// op, so each wrapper checks crashed_ after its base call: charge only
+// sets the flag without throwing in the kCrashAfter case.
+namespace {
+void crash_if_pending(const FaultFs& fs, bool armed) {
+  if (armed && fs.crashed()) {
+    throw CrashError("injected crash after op");
+  }
+}
+}  // namespace
+
+std::unique_ptr<WritableFile> FaultFs::open_append(const std::string& path) {
+  const bool before = crashed_;
+  charge(false);
+  auto file = std::make_unique<FaultWritableFile>(*this, base_.open_append(path));
+  crash_if_pending(*this, !before && crashed_);
+  return file;
+}
+
+std::string FaultFs::read_file(const std::string& path) {
+  const bool before = crashed_;
+  charge(false);
+  std::string bytes = base_.read_file(path);
+  crash_if_pending(*this, !before && crashed_);
+  return bytes;
+}
+
+std::string FaultFs::read_range(const std::string& path, std::uint64_t offset,
+                                std::size_t length) {
+  const bool before = crashed_;
+  charge(false);
+  std::string bytes = base_.read_range(path, offset, length);
+  crash_if_pending(*this, !before && crashed_);
+  return bytes;
+}
+
+std::vector<std::string> FaultFs::list_dir(const std::string& dir) {
+  const bool before = crashed_;
+  charge(false);
+  std::vector<std::string> names = base_.list_dir(dir);
+  crash_if_pending(*this, !before && crashed_);
+  return names;
+}
+
+void FaultFs::create_directories(const std::string& dir) {
+  const bool before = crashed_;
+  charge(false);
+  base_.create_directories(dir);
+  crash_if_pending(*this, !before && crashed_);
+}
+
+bool FaultFs::exists(const std::string& path) {
+  const bool before = crashed_;
+  charge(false);
+  const bool result = base_.exists(path);
+  crash_if_pending(*this, !before && crashed_);
+  return result;
+}
+
+std::uint64_t FaultFs::file_size(const std::string& path) {
+  const bool before = crashed_;
+  charge(false);
+  const std::uint64_t size = base_.file_size(path);
+  crash_if_pending(*this, !before && crashed_);
+  return size;
+}
+
+void FaultFs::rename_file(const std::string& from, const std::string& to) {
+  const bool before = crashed_;
+  charge(false);
+  base_.rename_file(from, to);
+  crash_if_pending(*this, !before && crashed_);
+}
+
+void FaultFs::remove_file(const std::string& path) {
+  const bool before = crashed_;
+  charge(false);
+  base_.remove_file(path);
+  crash_if_pending(*this, !before && crashed_);
+}
+
+}  // namespace thermo::persist

@@ -1,0 +1,181 @@
+// The persist layer's file-operation seam: every byte SegmentStore puts
+// on (or reads off) disk flows through the `Fs` interface, so tests can
+// substitute `FaultFs` — a deterministic fault injector — for the real
+// filesystem and prove crash consistency instead of assuming it.
+//
+// Why a seam instead of mocking at the store level: the crash bugs that
+// matter in an append-only store live *between* file operations (a
+// record appended but not yet fsync'd, a rotation half done, a
+// compaction renamed but the old segments not yet removed) and *inside*
+// them (a torn write persisting only a prefix of a frame, possibly
+// followed by garbage). FaultFs can stop the world at any such point —
+// op N of a deterministic workload — and the crash sweep in
+// tests/persist_crash_test.cpp then reopens the directory with the real
+// filesystem and checks the recovery contract (docs/PERSIST.md):
+// acknowledged records survive byte-identically, at most the in-flight
+// tail record is lost, the store never refuses to open.
+//
+// Determinism: FaultFs's torn-write prefix lengths and garbage bytes are
+// drawn from a util::Rng seeded by the fault plan, so a failing crash
+// point replays exactly from {workload, plan.after_ops, plan.kind,
+// plan.seed}.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace thermo::persist {
+
+/// A real I/O failure (unwritable path, disk full, unreadable file).
+/// Production code may catch and report this like any other Error.
+class IoError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Thrown by FaultFs when its configured crash point fires, and by every
+/// operation after it: the process "died" at that instant. Production
+/// code must never catch this specifically — only the crash-test driver
+/// does, before reopening the directory to check recovery. Deriving from
+/// IoError keeps honest generic error paths working (a store that treats
+/// it as a plain I/O failure is fine; it is about to be torn down).
+class CrashError : public IoError {
+ public:
+  using IoError::IoError;
+};
+
+/// An open append-only file handle. Destruction closes without syncing —
+/// exactly what happens to OS buffers when a process dies, which is why
+/// durability claims in SegmentStore are tied to sync() returning, never
+/// to append().
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+  WritableFile() = default;
+  WritableFile(const WritableFile&) = delete;
+  WritableFile& operator=(const WritableFile&) = delete;
+
+  /// Appends all of `bytes` (or throws; no silent short writes).
+  virtual void append(std::string_view bytes) = 0;
+  /// Flushes application and OS buffers to durable storage (fsync).
+  virtual void sync() = 0;
+  /// Closes the handle; idempotent. Does NOT imply sync().
+  virtual void close() = 0;
+};
+
+/// Minimal filesystem surface for an append-only segment store. Paths
+/// are plain strings (UTF-8, '/'-separated) so fakes need no
+/// std::filesystem. All methods throw IoError on failure.
+class Fs {
+ public:
+  virtual ~Fs() = default;
+
+  virtual std::unique_ptr<WritableFile> open_append(const std::string& path) = 0;
+  /// Whole-file read (segment scan at open/verify time).
+  virtual std::string read_file(const std::string& path) = 0;
+  /// Byte range [offset, offset+length) of a file; throws IoError when
+  /// the range overruns the file (a record the index points at must
+  /// exist in full).
+  virtual std::string read_range(const std::string& path,
+                                 std::uint64_t offset, std::size_t length) = 0;
+  /// Regular-file names directly inside `dir`, sorted (deterministic
+  /// scan order); empty when the directory does not exist.
+  virtual std::vector<std::string> list_dir(const std::string& dir) = 0;
+  virtual void create_directories(const std::string& dir) = 0;
+  virtual bool exists(const std::string& path) = 0;
+  virtual std::uint64_t file_size(const std::string& path) = 0;
+  /// Atomic replace (POSIX rename semantics) — the commit point of
+  /// crash-safe compaction.
+  virtual void rename_file(const std::string& from, const std::string& to) = 0;
+  virtual void remove_file(const std::string& path) = 0;
+};
+
+/// The process-wide real filesystem (cstdio + fsync + std::filesystem).
+Fs& real_fs();
+
+/// What FaultFs does when the faulted operation is reached.
+enum class FaultKind {
+  /// Throw before the underlying operation runs: a clean crash on the
+  /// op boundary (nothing of op N hits disk).
+  kCrashBefore,
+  /// Perform the underlying operation, then throw: the other side of
+  /// every op boundary (op N fully hit disk, nothing after it).
+  kCrashAfter,
+  /// On an append: persist a seeded prefix of the bytes, then throw — a
+  /// short write cut clean at an arbitrary byte. On any other op,
+  /// behaves like kCrashBefore.
+  kShortWrite,
+  /// On an append: persist a seeded prefix plus a few seeded garbage
+  /// bytes, then throw — a torn sector write. On any other op, behaves
+  /// like kCrashBefore.
+  kTornWrite,
+  /// Throw IoError (not CrashError) before the op, once; later ops
+  /// succeed. Models a transient I/O failure the caller must surface
+  /// without corrupting its in-memory state.
+  kFailOp,
+};
+
+struct FaultPlan {
+  /// 0-based index (over ALL Fs/WritableFile operations, reads
+  /// included) of the operation at which the fault fires. The default
+  /// never fires, which makes a plain FaultFs an operation counter —
+  /// crash sweeps first run fault-free to learn the op count.
+  std::size_t after_ops = static_cast<std::size_t>(-1);
+  FaultKind kind = FaultKind::kCrashBefore;
+  /// Seeds the torn/short-write prefix length and garbage bytes.
+  std::uint64_t seed = 1;
+};
+
+/// Fault-injecting decorator over another Fs (normally real_fs()).
+/// Counts every operation; when the count reaches plan.after_ops the
+/// plan's fault fires. After a crash fault, every subsequent operation
+/// throws CrashError — the "process" is dead, and the store object in
+/// front of it is unusable by construction.
+class FaultFs : public Fs {
+ public:
+  explicit FaultFs(Fs& base, FaultPlan plan = {});
+
+  std::unique_ptr<WritableFile> open_append(const std::string& path) override;
+  std::string read_file(const std::string& path) override;
+  std::string read_range(const std::string& path, std::uint64_t offset,
+                         std::size_t length) override;
+  std::vector<std::string> list_dir(const std::string& dir) override;
+  void create_directories(const std::string& dir) override;
+  bool exists(const std::string& path) override;
+  std::uint64_t file_size(const std::string& path) override;
+  void rename_file(const std::string& from, const std::string& to) override;
+  void remove_file(const std::string& path) override;
+
+  /// Operations observed so far (the fault-free run's final value is the
+  /// sweep's crash-point count).
+  std::size_t ops_seen() const { return ops_; }
+  /// Whether the crash fault has fired (all further ops throw).
+  bool crashed() const { return crashed_; }
+
+  // Internal surface for the wrapped file handles (they live in the
+  // implementation file, so these cannot be private friends).
+
+  /// Charges one operation; throws per the plan when the fault op is
+  /// reached. Returns true when the caller (an append) should apply the
+  /// short/torn-write treatment. For kCrashAfter it only sets crashed()
+  /// — the operation wrapper performs the base op, then throws.
+  bool charge(bool is_append);
+  const FaultPlan& plan() const { return plan_; }
+  Rng& torn_rng() { return rng_; }
+
+ private:
+  Fs& base_;
+  FaultPlan plan_;
+  Rng rng_;
+  std::size_t ops_ = 0;
+  bool crashed_ = false;
+};
+
+}  // namespace thermo::persist

@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "dispatch/disk_result_memo.hpp"
 #include "scenario/cost.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
@@ -113,6 +114,9 @@ ServeSummary serve_stream(std::istream& in, std::ostream& out,
   engine_options.policy = options.policy;
   engine_options.dedup = options.dedup;
   engine_options.memo = options.memo;
+  const std::size_t disk_hits_before =
+      options.disk_memo != nullptr ? options.disk_memo->disk_hits() : 0;
+  if (options.disk_memo != nullptr) engine_options.memo = options.disk_memo;
   const dispatch::EngineStats stats = dispatch::run_batch(
       jobs,
       [&](std::size_t i) {
@@ -140,6 +144,15 @@ ServeSummary serve_stream(std::istream& in, std::ostream& out,
     } else {
       ++summary.failed;
     }
+  }
+  if (options.disk_memo != nullptr && options.dedup) {
+    summary.disk_cache_enabled = true;
+    summary.disk_hits = options.disk_memo->disk_hits() - disk_hits_before;
+    const persist::SegmentStore::Stats disk =
+        options.disk_memo->store().stats();
+    summary.disk_records = disk.records;
+    summary.disk_segments = disk.segments;
+    summary.disk_bytes = disk.disk_bytes;
   }
   summary.runner = runner.stats();
   summary.wall_seconds =
@@ -175,6 +188,24 @@ JsonValue serve_summary_to_json(const ServeSummary& summary) {
                                        static_cast<double>(summary.requests)
                                  : 0.0));
   out.set("memo", std::move(memo));
+
+  // Disk tier of the memo (serve --cache-dir). `enabled` is always
+  // present so consumers can branch without probing for keys; counts
+  // appear only when a disk cache actually served the batch.
+  JsonValue disk_cache = JsonValue::object();
+  disk_cache.set("enabled", JsonValue::boolean(summary.disk_cache_enabled));
+  if (summary.disk_cache_enabled) {
+    disk_cache.set("hits",
+                   JsonValue::number(static_cast<double>(summary.disk_hits)));
+    disk_cache.set(
+        "records", JsonValue::number(static_cast<double>(summary.disk_records)));
+    disk_cache.set(
+        "segments",
+        JsonValue::number(static_cast<double>(summary.disk_segments)));
+    disk_cache.set("disk_bytes",
+                   JsonValue::number(static_cast<double>(summary.disk_bytes)));
+  }
+  out.set("disk_cache", std::move(disk_cache));
 
   JsonValue model_cache = JsonValue::object();
   model_cache.set("hits", JsonValue::number(

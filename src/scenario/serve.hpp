@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -28,6 +29,10 @@
 #include "scenario/runner.hpp"
 #include "thermal/backend.hpp"
 #include "util/json.hpp"
+
+namespace thermo::dispatch {
+class DiskResultMemo;
+}  // namespace thermo::dispatch
 
 namespace thermo::scenario {
 
@@ -50,6 +55,14 @@ struct ServeOptions {
   /// Cross-batch memo (borrowed); nullptr = a throwaway per-call memo,
   /// i.e. within-batch dedup only.
   dispatch::ResultMemo* memo = nullptr;
+  /// Disk-backed memo (borrowed) — what `thermosched serve --cache-dir`
+  /// wires in. When set it takes precedence over `memo` and results are
+  /// durably cached across *processes*: a cold restart serving the same
+  /// batch answers from disk instead of executing. Output bytes are
+  /// unchanged (the cache changes when work runs, never what is
+  /// written). Ignored when dedup is off — without content addressing
+  /// there is nothing to key the cache by.
+  dispatch::DiskResultMemo* disk_memo = nullptr;
 };
 
 /// Per-request execution facts, index-aligned with the (non-blank)
@@ -79,6 +92,11 @@ struct ServeSummary {
   std::size_t executed = 0;       ///< requests that actually ran
   std::size_t memo_hits = 0;      ///< requests answered from the memo
   std::size_t max_buffered = 0;   ///< ordered-writer high-water mark
+  bool disk_cache_enabled = false;   ///< a disk_memo served this batch
+  std::size_t disk_hits = 0;         ///< memo finds answered from disk
+  std::size_t disk_records = 0;      ///< records on disk after the batch
+  std::size_t disk_segments = 0;     ///< segment files after the batch
+  std::uint64_t disk_bytes = 0;      ///< segment bytes after the batch
   std::vector<RequestTiming> request_timings;  ///< input order
   ScenarioRunner::Stats runner;  ///< model-cache hits/misses
 };

@@ -1,0 +1,18 @@
+#include "util/hash.hpp"
+
+namespace thermo {
+
+std::uint64_t fnv1a64(std::string_view bytes, std::uint64_t seed) {
+  std::uint64_t hash = seed;
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+std::uint64_t fnv1a64(std::string_view bytes) {
+  return fnv1a64(bytes, 0xcbf29ce484222325ULL);
+}
+
+}  // namespace thermo

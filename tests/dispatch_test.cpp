@@ -11,6 +11,7 @@
 #include <numeric>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "dispatch/cost_model.hpp"
@@ -148,12 +149,73 @@ TEST(ResultMemo, FindInsertAndStats) {
   EXPECT_EQ(stats.evictions, 0u);
 }
 
-TEST(ResultMemo, FirstInsertWinsOnDuplicateKey) {
+TEST(ResultMemo, FirstInsertWinsOnIdenticalDuplicate) {
+  // Racing duplicate executions of one key produce identical bytes
+  // (records are pure functions of their keys); the memo keeps the
+  // first copy and counts no second insertion.
+  ResultMemo memo;
+  memo.insert("k", "record");
+  memo.insert("k", "record");
+  EXPECT_EQ(memo.find("k"), "record");
+  EXPECT_EQ(memo.stats().insertions, 1u);
+}
+
+TEST(ResultMemo, DivergentDuplicateInsertThrows) {
+  // A duplicate insert carrying DIFFERENT bytes means a writer broke
+  // the pure-function-of-the-key premise; silently keeping either copy
+  // would let the cache serve one of two different answers, so the
+  // memo fails loudly instead.
   ResultMemo memo;
   memo.insert("k", "first");
-  memo.insert("k", "second");
-  EXPECT_EQ(memo.find("k"), "first");
-  EXPECT_EQ(memo.stats().insertions, 1u);
+  EXPECT_THROW(memo.insert("k", "second"), LogicError);
+  EXPECT_EQ(memo.find("k"), "first");  // the resident record is untouched
+}
+
+TEST(ResultMemo, ConcurrentHammerKeepsCountersConsistent) {
+  // Counter-consistency under contention: every operation (stats
+  // included) is serialized on one mutex, so however the threads
+  // interleave, the totals must balance exactly:
+  //   hits + misses == find() calls,
+  //   insertions - evictions == entries,
+  //   entries <= capacity.
+  // The small capacity forces eviction/insert races on hot keys.
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kOpsPerThread = 2000;
+  constexpr std::size_t kKeySpace = 64;
+  constexpr std::size_t kCapacity = 16;
+  const auto value_of = [](std::size_t k) {
+    return "record-" + std::to_string(k);
+  };
+  ResultMemo memo(kCapacity);
+  std::atomic<std::size_t> total_finds{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::size_t state = t + 1;
+      for (std::size_t i = 0; i < kOpsPerThread; ++i) {
+        state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+        const std::size_t k = state % kKeySpace;
+        const std::string key = "key-" + std::to_string(k);
+        const auto found = memo.find(key);
+        total_finds.fetch_add(1, std::memory_order_relaxed);
+        if (found) {
+          // Every served record must be the key's one true value —
+          // an insert/evict race may lose entries, never corrupt them.
+          ASSERT_EQ(*found, value_of(k));
+        } else {
+          memo.insert(key, value_of(k));
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const auto stats = memo.stats();
+  EXPECT_EQ(stats.hits + stats.misses, total_finds.load());
+  EXPECT_EQ(stats.insertions - stats.evictions, stats.entries);
+  EXPECT_LE(stats.entries, kCapacity);
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_GT(stats.evictions, 0u);  // capacity < keyspace forces churn
 }
 
 TEST(ResultMemo, LruEvictionAtCapacity) {

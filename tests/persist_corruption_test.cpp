@@ -1,0 +1,234 @@
+// Deliberate damage: bit flips, truncation, garbage appends, and header
+// corruption applied to segment files behind the store's back. The
+// contract under attack (docs/PERSIST.md):
+//   * verify() flags exactly the damaged frames — segment, offset,
+//     reason — and nothing else;
+//   * every undamaged record keeps serving byte-identically;
+//   * a damaged record degrades to a miss, never to wrong bytes.
+//
+// The store is built with fixed-size records and a size cap chosen so
+// each segment holds exactly kPerSegment frames — the on-disk layout is
+// then fully predictable (20-byte header + frame index * kFrameBytes),
+// and the tests can hit a chosen record with a single byte.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "persist/segment_store.hpp"
+#include "persist_test_util.hpp"
+
+namespace thermo::persist {
+namespace {
+
+using testing::ScopedTempDir;
+
+constexpr std::size_t kHeaderBytes = 20;
+constexpr std::size_t kKeyBytes = 4;    // "k-07"
+constexpr std::size_t kValueBytes = 40;
+constexpr std::size_t kFrameBytes = 16 + kKeyBytes + kValueBytes;  // 60
+constexpr std::size_t kPerSegment = 3;
+constexpr std::size_t kSegments = 4;
+constexpr std::size_t kCount = kPerSegment * kSegments;
+
+std::string fixed_key(std::size_t i) {
+  return "k-" + std::string(i < 10 ? "0" : "") + std::to_string(i);
+}
+
+std::string fixed_value(std::size_t i) {
+  std::string value = testing::record_payload(i, kValueBytes);
+  value.resize(kValueBytes);
+  return value;
+}
+
+/// Key i lives in segment (i / kPerSegment) + 1 at frame (i % kPerSegment).
+std::uint32_t segment_of(std::size_t i) {
+  return static_cast<std::uint32_t>(i / kPerSegment + 1);
+}
+
+std::size_t offset_of(std::size_t i) {
+  return kHeaderBytes + (i % kPerSegment) * kFrameBytes;
+}
+
+/// Builds the predictable store and closes it.
+void build_store(const std::string& dir) {
+  StoreOptions options;
+  // Rotation triggers once the active offset REACHES the cap, i.e.
+  // after the kPerSegment-th frame.
+  options.segment_size_cap = kHeaderBytes + kPerSegment * kFrameBytes;
+  SegmentStore store(dir, options);
+  for (std::size_t i = 0; i < kCount; ++i) {
+    ASSERT_TRUE(store.put(fixed_key(i), fixed_value(i)));
+  }
+  ASSERT_EQ(store.stats().segments, kSegments);
+}
+
+void mutate_byte(const std::string& path, std::size_t offset,
+                 unsigned char xor_mask) {
+  std::fstream file(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(file.good()) << path;
+  file.seekg(static_cast<std::streamoff>(offset));
+  char byte = 0;
+  file.read(&byte, 1);
+  byte = static_cast<char>(static_cast<unsigned char>(byte) ^ xor_mask);
+  file.seekp(static_cast<std::streamoff>(offset));
+  file.write(&byte, 1);
+  ASSERT_TRUE(file.good());
+}
+
+void truncate_file(const std::string& path, std::size_t new_size) {
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  ASSERT_LT(new_size, bytes.size());
+  bytes.resize(new_size);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << bytes;
+}
+
+/// Every key except those in `lost` must serve byte-identically; keys in
+/// `lost` must be clean misses (never wrong bytes).
+void check_survivors(SegmentStore& store, const std::vector<std::size_t>& lost) {
+  for (std::size_t i = 0; i < kCount; ++i) {
+    const bool expect_lost =
+        std::find(lost.begin(), lost.end(), i) != lost.end();
+    const auto value = store.get(fixed_key(i));
+    if (expect_lost) {
+      EXPECT_EQ(value, std::nullopt) << "damaged record " << i << " served";
+    } else {
+      ASSERT_TRUE(value.has_value()) << "undamaged record " << i << " lost";
+      EXPECT_EQ(*value, fixed_value(i));
+    }
+  }
+}
+
+TEST(PersistCorruption, BitFlipDamagesExactlyOneRecord) {
+  const ScopedTempDir dir("corrupt");
+  build_store(dir.path());
+
+  // One bit, in the value region of record 7 (segment 3, frame 1).
+  const std::size_t victim = 7;
+  const std::string victim_segment =
+      SegmentStore::segment_name(segment_of(victim));
+  mutate_byte(dir.path() + "/" + victim_segment,
+              offset_of(victim) + 8 + kKeyBytes + 5, 0x40);
+
+  SegmentStore store(dir.path());
+  EXPECT_EQ(store.stats().damaged_at_open, 1u);
+  const auto report = store.verify();
+  ASSERT_EQ(report.damage.size(), 1u);  // exactly the damaged record
+  EXPECT_EQ(report.damage[0].segment, victim_segment);
+  EXPECT_EQ(report.damage[0].offset, offset_of(victim));
+  EXPECT_EQ(report.damage[0].reason, "checksum mismatch");
+  EXPECT_EQ(report.valid_records, kCount - 1);
+  check_survivors(store, {victim});
+}
+
+TEST(PersistCorruption, MidSegmentFlipOnlyLosesThatFrame) {
+  // A flip in the FIRST frame of a segment must not take down the two
+  // frames after it: complete-but-invalid frames are skipped, and the
+  // scan keeps going on the intact boundaries.
+  const ScopedTempDir dir("corrupt");
+  build_store(dir.path());
+
+  const std::size_t victim = 3;  // segment 2, frame 0
+  mutate_byte(dir.path() + "/" + SegmentStore::segment_name(segment_of(victim)),
+              offset_of(victim) + 8 + 1, 0x01);  // a key byte this time
+
+  SegmentStore store(dir.path());
+  const auto report = store.verify();
+  ASSERT_EQ(report.damage.size(), 1u);
+  EXPECT_EQ(report.damage[0].reason, "checksum mismatch");
+  EXPECT_EQ(report.valid_records, kCount - 1);
+  check_survivors(store, {victim});  // records 4 and 5 must survive
+}
+
+TEST(PersistCorruption, TruncationLosesOnlyTheTornTail) {
+  const ScopedTempDir dir("corrupt");
+  build_store(dir.path());
+
+  // Chop segment 4 mid-way through its LAST frame (record 11).
+  const std::size_t victim = 11;
+  const std::string victim_segment =
+      SegmentStore::segment_name(segment_of(victim));
+  truncate_file(dir.path() + "/" + victim_segment, offset_of(victim) + 10);
+
+  SegmentStore store(dir.path());
+  const auto report = store.verify();
+  ASSERT_EQ(report.damage.size(), 1u);
+  EXPECT_EQ(report.damage[0].segment, victim_segment);
+  EXPECT_EQ(report.damage[0].offset, offset_of(victim));
+  EXPECT_EQ(report.damage[0].reason, "truncated frame");
+  EXPECT_EQ(report.valid_records, kCount - 1);
+  check_survivors(store, {victim});
+}
+
+TEST(PersistCorruption, GarbageAppendLeavesEveryRecordIntact) {
+  const ScopedTempDir dir("corrupt");
+  build_store(dir.path());
+
+  const std::string victim_segment = SegmentStore::segment_name(2);
+  {
+    // Embedded NUL included — appended debris can be any bytes at all.
+    std::string garbage = "\x13garbage after the last frame\xff";
+    garbage.push_back('\0');
+    garbage.push_back('\x7f');
+    std::ofstream out(dir.path() + "/" + victim_segment,
+                      std::ios::binary | std::ios::app);
+    out << garbage;
+  }
+
+  SegmentStore store(dir.path());
+  const auto report = store.verify();
+  ASSERT_GE(report.damage.size(), 1u);  // the garbage tail is flagged...
+  EXPECT_EQ(report.damage[0].segment, victim_segment);
+  EXPECT_EQ(report.damage[0].offset, kHeaderBytes + kPerSegment * kFrameBytes);
+  EXPECT_EQ(report.valid_records, kCount);  // ...but no record is touched
+  check_survivors(store, {});
+}
+
+TEST(PersistCorruption, HeaderDamageCondemnsOnlyThatSegment) {
+  const ScopedTempDir dir("corrupt");
+  build_store(dir.path());
+
+  const std::string victim_segment = SegmentStore::segment_name(3);
+  mutate_byte(dir.path() + "/" + victim_segment, 9, 0x08);  // schema field
+
+  SegmentStore store(dir.path());
+  const auto report = store.verify();
+  ASSERT_EQ(report.damage.size(), 1u);
+  EXPECT_EQ(report.damage[0].segment, victim_segment);
+  EXPECT_EQ(report.damage[0].offset, 0u);
+  EXPECT_EQ(report.damage[0].reason, "bad header");
+  // A segment whose header cannot be trusted contributes no records —
+  // its three are lost — but every other segment is unaffected.
+  EXPECT_EQ(report.valid_records, kCount - kPerSegment);
+  check_survivors(store, {6, 7, 8});
+}
+
+TEST(PersistCorruption, CompactionScrubsDamageAndVerifyComesBackClean) {
+  const ScopedTempDir dir("corrupt");
+  build_store(dir.path());
+  const std::size_t victim = 4;
+  mutate_byte(dir.path() + "/" + SegmentStore::segment_name(segment_of(victim)),
+              offset_of(victim) + 20, 0x10);
+
+  SegmentStore store(dir.path());
+  ASSERT_FALSE(store.verify().clean());
+  const std::size_t carried = store.compact();
+  EXPECT_EQ(carried, kCount - 1);  // the damaged frame is dropped, not copied
+  const auto report = store.verify();
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.segments, 1u);
+  EXPECT_EQ(report.valid_records, kCount - 1);
+  check_survivors(store, {victim});
+}
+
+}  // namespace
+}  // namespace thermo::persist

@@ -1,0 +1,142 @@
+// The cross-process property behind `thermosched serve --cache-dir`:
+// serve a batch with a disk-backed memo, "kill" the process (destroy
+// every in-memory object), then serve the SAME batch from a cold
+// process over the same cache directory. The contract:
+//   * the cold run's JSONL output is byte-identical to the warm run's;
+//   * the cold run executes nothing — every distinct request is
+//     answered from disk (>= 99% disk-hit rate, and in fact 100%);
+//   * this holds across thread counts x schedule policies, because the
+//     cache keys are canonical request content, not execution order;
+//   * with dedup off the disk cache is ignored (nothing to key by) and
+//     the output bytes STILL match — caching changes when work runs,
+//     never what is written.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dispatch/disk_result_memo.hpp"
+#include "scenario/demo.hpp"
+#include "scenario/serve.hpp"
+#include "persist_test_util.hpp"
+
+namespace thermo::scenario {
+namespace {
+
+using thermo::testing::ScopedTempDir;
+
+constexpr std::size_t kDistinct = 24;
+constexpr std::size_t kSeed = 77;
+
+/// A batch with ~30% duplicates: every third request is repeated at the
+/// tail, so within-batch dedup and the cross-process cache both get
+/// exercised. 24 distinct requests, 32 lines total.
+std::string duplicated_batch() {
+  std::vector<std::string> lines;
+  for (const ScenarioRequest& request : demo_batch(kDistinct, kSeed)) {
+    lines.push_back(to_json_line(request));
+  }
+  std::string input;
+  for (const std::string& line : lines) input += line + "\n";
+  for (std::size_t i = 0; i < lines.size(); i += 3) input += lines[i] + "\n";
+  return input;
+}
+
+struct RunOutput {
+  std::string records;
+  ServeSummary summary;
+};
+
+/// One "process": a fresh runner and (optionally) a fresh DiskResultMemo
+/// over `cache_dir`, torn down completely before the function returns.
+RunOutput serve_once(const std::string& input, const std::string& cache_dir,
+                     ServeOptions options) {
+  std::istringstream in(input);
+  std::ostringstream out;
+  ScenarioRunner runner;
+  dispatch::DiskResultMemo memo(cache_dir);
+  options.disk_memo = &memo;
+  const ServeSummary summary = serve_stream(in, out, runner, options);
+  return RunOutput{out.str(), summary};
+}
+
+TEST(ScenarioPersist, ColdProcessServesByteIdenticallyFromDisk) {
+  const ScopedTempDir dir("serve-cache");
+  const std::string input = duplicated_batch();
+  const std::size_t total = kDistinct + (kDistinct + 2) / 3;
+
+  // Warm process: executes every distinct request once, persists all.
+  ServeOptions warm_options;
+  warm_options.threads = 2;
+  const RunOutput warm = serve_once(input, dir.path(), warm_options);
+  ASSERT_EQ(warm.summary.requests, total);
+  ASSERT_EQ(warm.summary.failed, 0u);
+  EXPECT_EQ(warm.summary.executed, kDistinct);
+  EXPECT_TRUE(warm.summary.disk_cache_enabled);
+  EXPECT_EQ(warm.summary.disk_records, kDistinct);
+
+  // Cold processes: every (policy x threads) config must answer the
+  // whole batch from disk with byte-identical output.
+  for (const dispatch::SchedulePolicy policy :
+       {dispatch::SchedulePolicy::kFifo, dispatch::SchedulePolicy::kLjf}) {
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+      ServeOptions options;
+      options.policy = policy;
+      options.threads = threads;
+      const RunOutput cold = serve_once(input, dir.path(), options);
+      EXPECT_EQ(cold.records, warm.records)
+          << "policy=" << dispatch::schedule_policy_name(policy)
+          << " threads=" << threads;
+      EXPECT_EQ(cold.summary.executed, 0u) << "cold run recomputed a record";
+      EXPECT_EQ(cold.summary.memo_hits, total);
+      // Disk-hit rate over distinct keys: one disk read per key, the
+      // duplicates are answered by the promoted memory tier.
+      EXPECT_GE(static_cast<double>(cold.summary.disk_hits),
+                0.99 * static_cast<double>(kDistinct));
+      EXPECT_EQ(cold.summary.disk_hits, kDistinct);
+      EXPECT_EQ(cold.summary.disk_records, kDistinct);
+    }
+  }
+
+  // Dedup off: the cache is ignored (disk stats stay zero) but the
+  // output bytes still match the cached runs exactly.
+  ServeOptions no_dedup;
+  no_dedup.dedup = false;
+  no_dedup.threads = 2;
+  const RunOutput executed = serve_once(input, dir.path(), no_dedup);
+  EXPECT_EQ(executed.records, warm.records);
+  EXPECT_EQ(executed.summary.executed, total);  // every line ran
+  EXPECT_FALSE(executed.summary.disk_cache_enabled);
+  EXPECT_EQ(executed.summary.disk_hits, 0u);
+}
+
+TEST(ScenarioPersist, SecondBatchExtendsTheCacheInsteadOfReplacingIt) {
+  // Two different batches through the same cache directory: the second
+  // serve adds its records without disturbing the first's, and a third
+  // process serves EITHER batch entirely from disk.
+  const ScopedTempDir dir("serve-cache");
+  std::string batch_a;
+  for (const ScenarioRequest& request : demo_batch(10, 5)) {
+    batch_a += to_json_line(request) + "\n";
+  }
+  std::string batch_b;
+  for (const ScenarioRequest& request : demo_batch(10, 6)) {
+    batch_b += to_json_line(request) + "\n";
+  }
+
+  const RunOutput first = serve_once(batch_a, dir.path(), {});
+  ASSERT_EQ(first.summary.failed, 0u);
+  const RunOutput second = serve_once(batch_b, dir.path(), {});
+  EXPECT_GE(second.summary.disk_records, first.summary.disk_records);
+
+  const RunOutput replay_a = serve_once(batch_a, dir.path(), {});
+  EXPECT_EQ(replay_a.records, first.records);
+  EXPECT_EQ(replay_a.summary.executed, 0u);
+  const RunOutput replay_b = serve_once(batch_b, dir.path(), {});
+  EXPECT_EQ(replay_b.records, second.records);
+  EXPECT_EQ(replay_b.summary.executed, 0u);
+}
+
+}  // namespace
+}  // namespace thermo::scenario
