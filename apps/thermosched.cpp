@@ -23,7 +23,8 @@
 //             thread count, schedule policy, and dedup setting.
 //             Schema: docs/SERVE.md.
 //             Options: --in PATH|-, --out PATH|-, --threads,
-//             --schedule-policy fifo|ljf, --dedup on|off,
+//             --schedule-policy fifo|ljf|edf|priority|srpt,
+//             --dedup on|off, --calibrate on|off,
 //             --summary-json PATH, --cache-dir PATH (persistent
 //             disk-backed result cache — docs/PERSIST.md)
 //   cache     Inspect or maintain a --cache-dir directory:
@@ -38,7 +39,8 @@
 //             Identical flags always produce byte-identical streams.
 //             Schema: docs/GEN.md.
 //             Options: --count, --seed, --zipf, --dup, --order,
-//             --mix-sweep, --mix-ptrace, --mix-chained, --out PATH|-
+//             --mix-sweep, --mix-ptrace, --mix-chained,
+//             --deadline-rate, --out PATH|-
 //   info      Print floorplan statistics (areas, adjacency, boundary
 //             exposure, power densities).
 //             Options: --flp PATH --density D | --alpha, --csv
@@ -55,8 +57,10 @@
 
 #include "core/stcl_sweep.hpp"
 #include "core/thermal_scheduler.hpp"
+#include "dispatch/calibrator.hpp"
 #include "dispatch/disk_result_memo.hpp"
 #include "dispatch/work_queue.hpp"
+#include "persist/blob_file.hpp"
 #include "persist/segment_store.hpp"
 #include "floorplan/flp_io.hpp"
 #include "gen/generator.hpp"
@@ -98,6 +102,7 @@ struct CommonArgs {
   std::string out_path = "-";
   std::string schedule_policy = "fifo";
   std::string dedup = "on";
+  std::string calibrate = "on";
   std::string summary_json_path;
   std::string cache_dir;  // serve + cache (docs/PERSIST.md)
   // schedule/sweep/serve: thermal solver backend (docs/SOLVERS.md)
@@ -111,6 +116,7 @@ struct CommonArgs {
   double gen_mix_sweep = 0.7;
   double gen_mix_ptrace = 0.15;
   double gen_mix_chained = 0.15;
+  double gen_deadline_rate = 0.0;
 };
 
 /// "dense" | "sparse" | "auto" -> SolverBackend; anything else is a
@@ -124,13 +130,14 @@ thermal::SolverBackend parse_solver_backend(const std::string& name) {
   return *backend;
 }
 
-/// "fifo" | "ljf" -> SchedulePolicy; anything else is a usage error
+/// Policy name -> SchedulePolicy; anything else is a usage error
 /// (exit 2) with this exact message (pinned by the serve smoke docs).
 dispatch::SchedulePolicy parse_schedule_policy(const std::string& name) {
   const auto policy = dispatch::schedule_policy_from_name(name);
   if (!policy) {
-    throw InvalidArgument("unknown schedule policy '" + name +
-                          "' (expected 'fifo' or 'ljf')");
+    throw InvalidArgument(
+        "unknown schedule policy '" + name +
+        "' (expected 'fifo', 'ljf', 'edf', 'priority', or 'srpt')");
   }
   return *policy;
 }
@@ -156,6 +163,14 @@ bool parse_dedup(const std::string& value) {
                         "' (expected 'on' or 'off')");
 }
 
+/// "on" | "off" -> bool; anything else is a usage error (exit 2).
+bool parse_calibrate(const std::string& value) {
+  if (value == "on") return true;
+  if (value == "off") return false;
+  throw InvalidArgument("invalid --calibrate value '" + value +
+                        "' (expected 'on' or 'off')");
+}
+
 void print_global_usage(std::ostream& out) {
   out << "usage: thermosched <command> [options]\n"
          "\n"
@@ -173,7 +188,8 @@ void print_global_usage(std::ostream& out) {
          "            (schema: docs/SERVE.md; byte-deterministic for any\n"
          "            thread count, policy, and dedup setting)\n"
          "            [--in PATH|-] [--out PATH|-] [--threads N]\n"
-         "            [--schedule-policy fifo|ljf] [--dedup on|off]\n"
+         "            [--schedule-policy fifo|ljf|edf|priority|srpt]\n"
+         "            [--dedup on|off] [--calibrate on|off]\n"
          "            [--summary-json PATH] [--solver-backend B]\n"
          "            [--cache-dir PATH]\n"
          "  cache     Inspect/maintain a --cache-dir result cache\n"
@@ -184,7 +200,7 @@ void print_global_usage(std::ostream& out) {
          "            [--count N] [--seed S] [--zipf Z] [--dup R]\n"
          "            [--order as-generated|shuffled|sorted|sorted-desc|\n"
          "            whale-last] [--mix-sweep W] [--mix-ptrace W]\n"
-         "            [--mix-chained W] [--out PATH|-]\n"
+         "            [--mix-chained W] [--deadline-rate R] [--out PATH|-]\n"
          "  info      Floorplan statistics\n"
          "            [--flp PATH --density D | --alpha] [--csv]\n"
          "\n"
@@ -197,10 +213,15 @@ void print_global_usage(std::ostream& out) {
          "\n"
          "serve scheduling (docs/SERVE.md \"Scheduling policy\"):\n"
          "--schedule-policy orders execution starts — 'fifo' (default,\n"
-         "input order) or 'ljf' (longest-job-first by estimated cost;\n"
-         "cuts makespan on skewed batches). --dedup ('on' default)\n"
-         "memoizes result records by request content so duplicate\n"
-         "requests execute once. Neither changes the output bytes.\n"
+         "input order), 'ljf' (longest-job-first; cuts makespan on\n"
+         "skewed batches), 'edf' (earliest deadline_s first), 'priority'\n"
+         "(smallest cost/priority ratio first), or 'srpt' (cheapest\n"
+         "first). --dedup ('on' default) memoizes result records by\n"
+         "request content so duplicate requests execute once.\n"
+         "--calibrate ('on' default) fits the cost model's constants\n"
+         "from measured wall times (docs/DISPATCH.md); with --cache-dir\n"
+         "the fit persists across restarts. None of these change the\n"
+         "output bytes.\n"
          "--summary-json writes per-batch execution stats (makespan,\n"
          "tail latency, memo hit rate, per-request timings) to PATH.\n"
          "--cache-dir persists result records to a crash-safe on-disk\n"
@@ -380,8 +401,48 @@ int cmd_serve(const CommonArgs& args) {
                    "(results are keyed by request content)\n";
     }
   }
+
+  // Self-calibrating cost model (--calibrate on, the default): estimate
+  // placement costs with constants fitted from measured wall times.
+  // With --cache-dir the fit's state persists next to the result cache
+  // ("calibration.v1"), so a restarted server starts warm. Persistence
+  // problems are never fatal: a torn or unreadable record just means
+  // starting from the hand-tuned defaults.
+  std::unique_ptr<dispatch::CostCalibrator> calibrator;
+  const std::string calibration_path =
+      args.cache_dir.empty() ? "" : args.cache_dir + "/" + "calibration.v1";
+  if (parse_calibrate(args.calibrate)) {
+    calibrator = std::make_unique<dispatch::CostCalibrator>();
+    if (!calibration_path.empty()) {
+      try {
+        if (const auto payload = persist::read_blob_file(
+                persist::real_fs(), calibration_path)) {
+          if (auto restored = dispatch::CostCalibrator::deserialize(*payload)) {
+            *calibrator = std::move(*restored);
+          } else {
+            std::cerr << "note: ignoring damaged calibration state in '"
+                      << calibration_path << "'\n";
+          }
+        }
+      } catch (const persist::IoError& e) {
+        std::cerr << "note: cannot read calibration state: " << e.what()
+                  << '\n';
+      }
+    }
+    options.calibrator = calibrator.get();
+  }
+
   const scenario::ServeSummary summary =
       scenario::serve_stream(in, out, runner, options);
+
+  if (calibrator != nullptr && !calibration_path.empty()) {
+    try {
+      persist::write_blob_file(persist::real_fs(), args.cache_dir,
+                               "calibration.v1", calibrator->serialize());
+    } catch (const persist::IoError& e) {
+      std::cerr << "note: cannot save calibration state: " << e.what() << '\n';
+    }
+  }
   // A full disk or closed pipe must be a runtime error, not a silent
   // success with a truncated results file.
   out.flush();
@@ -428,6 +489,16 @@ int cmd_serve(const CommonArgs& args) {
               << summary.disk_records << " records in "
               << summary.disk_segments << " segments";
   }
+  if (summary.calibration_enabled) {
+    std::cerr << "; calibration: " << summary.calibration_samples
+              << " samples"
+              << (summary.calibration_active ? " (fitted constants)"
+                                             : " (warming up)");
+  }
+  if (summary.deadline_requests > 0) {
+    std::cerr << "; deadlines: " << summary.deadline_met << "/"
+              << summary.deadline_requests << " met";
+  }
   std::cerr << '\n';
   if (args.out_path == "-") return kExitOk;
   // A short confirmation so the smoke harness (non-empty stdout) and
@@ -446,6 +517,7 @@ int cmd_gen(const CommonArgs& args) {
   config.mix.sweep = args.gen_mix_sweep;
   config.mix.ptrace = args.gen_mix_ptrace;
   config.mix.chained = args.gen_mix_chained;
+  config.deadline_rate = args.gen_deadline_rate;
   config.order = parse_order_pattern(args.gen_order);
 
   std::ofstream out_file;
@@ -473,7 +545,11 @@ int cmd_gen(const CommonArgs& args) {
             << stream.stats.fresh << " fresh, " << stream.stats.duplicates
             << " duplicates; " << stream.stats.sweep << " stcl_sweep, "
             << stream.stats.ptrace << " ptrace, " << stream.stats.chained
-            << " chained; order " << gen::order_pattern_name(config.order)
+            << " chained; ";
+  if (config.deadline_rate > 0.0) {
+    std::cerr << stream.stats.deadlined << " deadlined; ";
+  }
+  std::cerr << "order " << gen::order_pattern_name(config.order)
             << ", seed " << config.seed << ")\n";
   if (args.out_path == "-") return kExitOk;
   std::cout << "wrote " << stream.stats.count << " request lines to "
@@ -631,14 +707,20 @@ int main(int argc, char** argv) {
     cli.add_string("in", "JSONL requests file, - = stdin", &args.in_path);
     cli.add_string("out", "JSONL results file, - = stdout", &args.out_path);
     cli.add_string("schedule-policy",
-                   "Execution-start order: fifo (input order) or ljf "
-                   "(longest-job-first by estimated cost); output bytes "
-                   "are identical either way",
+                   "Execution-start order: fifo (input order), ljf "
+                   "(longest-job-first), edf (earliest-deadline-first), "
+                   "priority (cost/priority ratio), or srpt (shortest "
+                   "first); output bytes are identical either way",
                    &args.schedule_policy);
     cli.add_string("dedup",
                    "Memoize results by request content, on or off "
                    "(duplicate requests execute once; output unchanged)",
                    &args.dedup);
+    cli.add_string("calibrate",
+                   "Fit cost-model constants from measured wall times, "
+                   "on (default) or off; with --cache-dir the fit "
+                   "persists across restarts (output unchanged)",
+                   &args.calibrate);
     cli.add_string("summary-json",
                    "Write per-batch execution stats (makespan, tail "
                    "latency, memo hit rate, per-request timings) to PATH",
@@ -678,6 +760,10 @@ int main(int argc, char** argv) {
                    &args.gen_mix_ptrace);
     cli.add_double("mix-chained", "Relative weight of kind chained",
                    &args.gen_mix_chained);
+    cli.add_double("deadline-rate",
+                   "Probability in [0, 1] that a fresh request carries a "
+                   "deadline_s (half tight / half generous; docs/GEN.md)",
+                   &args.gen_deadline_rate);
     cli.add_string("out", "JSONL requests file, - = stdout", &args.out_path);
   }
   if (is_sweep || is_serve) {
@@ -708,6 +794,7 @@ int main(int argc, char** argv) {
     if (is_serve) {
       parse_schedule_policy(args.schedule_policy);
       parse_dedup(args.dedup);
+      parse_calibrate(args.calibrate);
     }
     if (is_gen) {
       parse_order_pattern(args.gen_order);

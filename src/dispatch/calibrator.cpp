@@ -1,0 +1,243 @@
+#include "dispatch/calibrator.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace thermo::dispatch {
+
+namespace {
+
+/// Regressor vector of one job: mirrors CostModel::estimate term by
+/// term, with validations_per_core taken from the calibrator's fallback
+/// constants (held fixed — see calibrator.hpp).
+std::array<double, CostCalibrator::kDimensions> regressors(
+    const CostFeatures& features, double validations_per_core) {
+  const double n =
+      static_cast<double>(std::max<std::size_t>(features.nodes, 1));
+  const double solves_per_call =
+      features.transient ? std::max(1.0, features.steps_per_call) : 1.0;
+  const double calls =
+      features.oracle_calls > 0.0
+          ? features.oracle_calls
+          : validations_per_core *
+                static_cast<double>(std::max<std::size_t>(features.cores, 1));
+  const double points =
+      static_cast<double>(std::max<std::size_t>(features.stcl_points, 1));
+  const double work = points * calls;
+  std::array<double, CostCalibrator::kDimensions> x{};
+  x[0] = 1.0;                                               // per_request
+  x[1] = features.sparse ? 0.0 : work * solves_per_call * n * n;  // dense
+  x[2] = features.sparse ? work * solves_per_call * n : 0.0;      // sparse
+  x[3] = work;                                              // per-call
+  return x;
+}
+
+/// In-place 4×4 Cholesky solve of a·c = b; false when `a` (after the
+/// caller's ridge) is not numerically SPD. Hand-rolled on fixed-size
+/// arrays: the system is tiny and dispatch deliberately does not depend
+/// on the linalg layer.
+bool solve_spd(double a[CostCalibrator::kDimensions]
+                       [CostCalibrator::kDimensions],
+               const double b[CostCalibrator::kDimensions],
+               double c[CostCalibrator::kDimensions]) {
+  constexpr std::size_t kN = CostCalibrator::kDimensions;
+  double l[kN][kN] = {};
+  for (std::size_t i = 0; i < kN; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double sum = a[i][j];
+      for (std::size_t k = 0; k < j; ++k) sum -= l[i][k] * l[j][k];
+      if (i == j) {
+        if (!(sum > 0.0) || !std::isfinite(sum)) return false;
+        l[i][i] = std::sqrt(sum);
+      } else {
+        l[i][j] = sum / l[j][j];
+      }
+    }
+  }
+  double z[kN];
+  for (std::size_t i = 0; i < kN; ++i) {
+    double sum = b[i];
+    for (std::size_t k = 0; k < i; ++k) sum -= l[i][k] * z[k];
+    z[i] = sum / l[i][i];
+  }
+  for (std::size_t i = kN; i-- > 0;) {
+    double sum = z[i];
+    for (std::size_t k = i + 1; k < kN; ++k) sum -= l[k][i] * c[k];
+    c[i] = sum / l[i][i];
+  }
+  for (std::size_t i = 0; i < kN; ++i) {
+    if (!std::isfinite(c[i])) return false;
+  }
+  return true;
+}
+
+/// Strict finite-number accessor for deserialize: nullopt on anything
+/// that is not a finite JSON number.
+std::optional<double> finite_number(const JsonValue* v) {
+  if (v == nullptr || !v->is_number()) return std::nullopt;
+  const double value = v->as_number();
+  if (!std::isfinite(value)) return std::nullopt;
+  return value;
+}
+
+}  // namespace
+
+void CostCalibrator::observe(const CostFeatures& features,
+                             double measured_seconds) {
+  if (!std::isfinite(measured_seconds) || measured_seconds < 0.0) return;
+  const auto x = regressors(features, fallback_.validations_per_core);
+  for (std::size_t i = 0; i < kDimensions; ++i) {
+    if (!std::isfinite(x[i])) return;  // absurd feature values: skip whole job
+  }
+  // Relative least squares: each observation is scaled by 1/measured,
+  // so the fit minimizes Σ((x·c − y)/y)² — relative error, the metric
+  // placement (and the bench gate) actually cares about — instead of
+  // absolute seconds, which a single whale job would dominate. The
+  // floor keeps timer-granularity noise on near-zero measurements from
+  // dominating instead.
+  const double weight = 1.0 / std::max(measured_seconds, kWeightFloorSeconds);
+  for (std::size_t i = 0; i < kDimensions; ++i) {
+    for (std::size_t j = 0; j < kDimensions; ++j) {
+      xtx_[i][j] += weight * x[i] * weight * x[j];
+    }
+    xty_[i] += weight * x[i] * weight * measured_seconds;
+  }
+  ++samples_;
+}
+
+std::optional<CostConstants> CostCalibrator::fit() const {
+  if (samples_ < kMinSamples) return std::nullopt;
+  // Jacobi preconditioning: the relative weighting leaves the columns
+  // at wildly different scales (the per-request column is Σ1/y² while
+  // the work columns are ~Σ1), so the system is first normalized to
+  // unit diagonal. The ridge then perturbs EVERY coefficient by ~1e-8
+  // relative to its own scale — without this, a single max-diagonal
+  // ridge crushes the small-scale columns to zero — and a column that
+  // never varied (e.g. a batch with no sparse job) keeps scale 1 and is
+  // pinned by the ridge alone.
+  double scale[kDimensions];
+  for (std::size_t i = 0; i < kDimensions; ++i) {
+    const double diag = xtx_[i][i];
+    scale[i] = diag > 0.0 && std::isfinite(diag)
+                   ? 1.0 / std::sqrt(diag)
+                   : 1.0;
+  }
+  double a[kDimensions][kDimensions];
+  double b[kDimensions];
+  for (std::size_t i = 0; i < kDimensions; ++i) {
+    for (std::size_t j = 0; j < kDimensions; ++j) {
+      a[i][j] = scale[i] * scale[j] * xtx_[i][j];
+    }
+    a[i][i] += 1e-8;
+    b[i] = scale[i] * xty_[i];
+  }
+  double c[kDimensions];
+  if (!solve_spd(a, b, c)) return std::nullopt;
+  CostConstants fitted = fallback_;  // validations_per_core carries over
+  fitted.per_request = std::max(scale[0] * c[0], kCoefficientFloor);
+  fitted.dense_ops_per_node_sq = std::max(scale[1] * c[1], kCoefficientFloor);
+  fitted.sparse_ops_per_node = std::max(scale[2] * c[2], kCoefficientFloor);
+  fitted.per_call_overhead = std::max(scale[3] * c[3], kCoefficientFloor);
+  return fitted;
+}
+
+bool CostCalibrator::ready() const { return fit().has_value(); }
+
+CostConstants CostCalibrator::constants() const {
+  const auto fitted = fit();
+  return fitted ? *fitted : fallback_;
+}
+
+std::string CostCalibrator::serialize() const {
+  JsonValue out = JsonValue::object();
+  out.set("schema", JsonValue::string("thermo.calibration.v1"));
+  out.set("samples", JsonValue::number(static_cast<double>(samples_)));
+  JsonValue xtx = JsonValue::array();
+  for (std::size_t i = 0; i < kDimensions; ++i) {
+    for (std::size_t j = 0; j < kDimensions; ++j) {
+      xtx.append(JsonValue::number(xtx_[i][j]));
+    }
+  }
+  out.set("xtx", std::move(xtx));
+  JsonValue xty = JsonValue::array();
+  for (std::size_t i = 0; i < kDimensions; ++i) {
+    xty.append(JsonValue::number(xty_[i]));
+  }
+  out.set("xty", std::move(xty));
+  return out.dump();
+}
+
+std::optional<CostCalibrator> CostCalibrator::deserialize(
+    std::string_view text, const CostConstants& fallback) {
+  JsonValue parsed;
+  try {
+    parsed = parse_json(text);
+  } catch (const Error&) {
+    return std::nullopt;
+  }
+  if (!parsed.is_object() || parsed.size() != 4) return std::nullopt;
+  const JsonValue* schema = parsed.find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != "thermo.calibration.v1") {
+    return std::nullopt;
+  }
+  const auto samples = finite_number(parsed.find("samples"));
+  if (!samples || *samples < 0.0 || *samples != std::floor(*samples)) {
+    return std::nullopt;
+  }
+  const JsonValue* xtx = parsed.find("xtx");
+  const JsonValue* xty = parsed.find("xty");
+  if (xtx == nullptr || !xtx->is_array() ||
+      xtx->size() != kDimensions * kDimensions || xty == nullptr ||
+      !xty->is_array() || xty->size() != kDimensions) {
+    return std::nullopt;
+  }
+  CostCalibrator calibrator(fallback);
+  calibrator.samples_ = static_cast<std::size_t>(*samples);
+  for (std::size_t i = 0; i < kDimensions; ++i) {
+    for (std::size_t j = 0; j < kDimensions; ++j) {
+      const auto value = finite_number(&xtx->items()[i * kDimensions + j]);
+      if (!value) return std::nullopt;
+      calibrator.xtx_[i][j] = *value;
+    }
+    const auto value = finite_number(&xty->items()[i]);
+    if (!value) return std::nullopt;
+    calibrator.xty_[i] = *value;
+  }
+  return calibrator;
+}
+
+double median_relative_error(const std::vector<double>& estimates,
+                             const std::vector<double>& measured) {
+  const std::size_t n = std::min(estimates.size(), measured.size());
+  std::vector<double> ratios;
+  ratios.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (estimates[i] > 0.0 && measured[i] > 0.0 &&
+        std::isfinite(estimates[i]) && std::isfinite(measured[i])) {
+      ratios.push_back(measured[i] / estimates[i]);
+    }
+  }
+  if (ratios.empty()) return 0.0;
+  const auto median_of = [](std::vector<double>& values) {
+    std::sort(values.begin(), values.end());
+    return values[values.size() / 2];
+  };
+  const double scale = median_of(ratios);
+  std::vector<double> errors;
+  errors.reserve(ratios.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (estimates[i] > 0.0 && measured[i] > 0.0 &&
+        std::isfinite(estimates[i]) && std::isfinite(measured[i])) {
+      errors.push_back(std::abs(scale * estimates[i] - measured[i]) /
+                       measured[i]);
+    }
+  }
+  return median_of(errors);
+}
+
+}  // namespace thermo::dispatch

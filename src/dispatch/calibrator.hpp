@@ -1,0 +1,126 @@
+// CostCalibrator: close the estimate → measurement loop of the cost
+// model. The engine already measures every executed job's wall time;
+// the calibrator folds those (CostFeatures, measured seconds) pairs
+// into a running least-squares regression and re-fits CostConstants —
+// so a long-lived serve process stops guessing with hand-tuned relative
+// units and starts predicting *seconds on this machine*.
+//
+// The model is linear in the constants once validations_per_core is
+// held fixed (it is collinear with the per-call terms — both scale the
+// same call count — so fitting it too would make the normal equations
+// rank-deficient by construction):
+//
+//   seconds ≈ per_request · 1
+//           + dense_ops_per_node_sq · [points·calls·solves/call·n²]   (dense)
+//           + sparse_ops_per_node   · [points·calls·solves/call·n ]   (sparse)
+//           + per_call_overhead     · [points·calls]
+//
+// Only the O(1) sufficient statistics XᵀX (4×4) and Xᵀy (4) are kept —
+// a million observed jobs cost the same 21 doubles as ten — and the fit
+// solves the ridge-stabilized normal equations with a 4×4 Cholesky.
+// Fitted constants are clamped to a positive floor, so estimates stay
+// positive and monotone even on degenerate batches (e.g. no sparse job
+// ever observed leaves that column to the ridge, not to a negative
+// coefficient).
+//
+// Determinism: the calibrator is a pure function of its observation
+// sequence — same jobs in, same constants and same serialized state
+// out. Placement built on those constants can therefore never break the
+// serve byte-determinism invariant: costs order *when* work runs, not
+// what is written (tests/dispatch_calibrator_test.cpp pins both).
+//
+// State round-trips through serialize()/deserialize() as a
+// "thermo.calibration.v1" JSON payload (shortest round-trip numbers, so
+// the trip is exact); `thermosched serve --cache-dir` persists it next
+// to the disk cache via persist::write_blob_file so a restarted process
+// starts warm. deserialize returns nullopt — never throws — on any
+// structural damage: a torn calibration record falls back to defaults
+// instead of aborting serve or skewing estimates with garbage.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dispatch/cost_model.hpp"
+
+namespace thermo::dispatch {
+
+class CostCalibrator {
+ public:
+  /// Fitted coefficients: per_request, dense_ops_per_node_sq,
+  /// sparse_ops_per_node, per_call_overhead.
+  static constexpr std::size_t kDimensions = 4;
+  /// Observations required before ready() can become true: below this a
+  /// 4-parameter fit would chase noise, so constants() stays at the
+  /// fallback.
+  static constexpr std::size_t kMinSamples = 32;
+  /// Floor every fitted coefficient is clamped to, keeping estimates
+  /// positive and monotone in every feature.
+  static constexpr double kCoefficientFloor = 1e-12;
+  /// Observations are weighted by 1/max(measured, this) so the fit
+  /// minimizes RELATIVE error (what placement ranks by) without letting
+  /// timer-granularity noise on near-zero measurements dominate.
+  static constexpr double kWeightFloorSeconds = 1e-5;
+
+  CostCalibrator() = default;
+  /// `fallback` is returned by constants() until the fit is ready; its
+  /// validations_per_core is also the (fixed) call-count rule used to
+  /// build the regressors, matching CostModel::estimate exactly.
+  explicit CostCalibrator(const CostConstants& fallback)
+      : fallback_(fallback) {}
+
+  /// Folds one executed job into the sufficient statistics.
+  /// `measured_seconds` is the job's wall time; non-finite or negative
+  /// measurements are ignored (a clock that misbehaves must not poison
+  /// the fit).
+  void observe(const CostFeatures& features, double measured_seconds);
+
+  std::size_t samples() const { return samples_; }
+
+  /// True once kMinSamples observations are in AND the normal equations
+  /// solve; constants() then returns the fitted values (in seconds).
+  bool ready() const;
+
+  /// Fitted constants when ready(), the fallback otherwise. Fitted
+  /// validations_per_core always equals the fallback's (held fixed, see
+  /// file comment).
+  CostConstants constants() const;
+
+  /// A CostModel over constants() — what serve scores jobs with.
+  CostModel model() const { return CostModel(constants()); }
+
+  /// Exact-round-trip JSON state ("thermo.calibration.v1").
+  std::string serialize() const;
+
+  /// Inverse of serialize(). Returns nullopt — never throws — on
+  /// malformed JSON, a wrong schema, missing/extra members, wrong array
+  /// sizes, or non-finite numbers. `fallback` seeds the restored
+  /// calibrator exactly as the constructor would.
+  static std::optional<CostCalibrator> deserialize(
+      std::string_view text, const CostConstants& fallback = {});
+
+ private:
+  std::optional<CostConstants> fit() const;
+
+  CostConstants fallback_;
+  std::size_t samples_ = 0;
+  double xtx_[kDimensions][kDimensions] = {};  ///< XᵀX (symmetric)
+  double xty_[kDimensions] = {};               ///< Xᵀy
+};
+
+/// Scale-free accuracy metric for comparing cost models whose outputs
+/// live in different units (fixed constants are relative units, fitted
+/// ones are seconds): estimates are first normalized by the median
+/// measured/estimate ratio, then the median of |scaled − measured| /
+/// measured is returned. Pairs with a non-positive estimate or
+/// measurement are skipped; returns 0 when no valid pair remains.
+/// Invariant under scaling all estimates by any positive factor — the
+/// number only rewards correct *proportions*, which is exactly what
+/// placement consumes. bench_dispatch gates calibrated < fixed on it.
+double median_relative_error(const std::vector<double>& estimates,
+                             const std::vector<double>& measured);
+
+}  // namespace thermo::dispatch

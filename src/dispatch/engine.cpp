@@ -78,22 +78,40 @@ EngineStats run_batch(const std::vector<Job>& jobs,
   }
 
   WorkQueue queue(options.policy);
-  for (const std::size_t i : scheduled) queue.push(i, jobs[i].cost);
+  for (const std::size_t i : scheduled) {
+    WorkItem item;
+    item.index = i;
+    item.cost = jobs[i].cost;
+    item.deadline = jobs[i].deadline;
+    item.priority = jobs[i].priority;
+    queue.push(item);
+  }
   queue.seal();
 
+  // Execution-window origin: done_seconds and the makespan share this
+  // timepoint, so "done before deadline" means "within deadline seconds
+  // of the first possible execution start". Declared before run_one so
+  // the lambda can capture it; assigned right before workers start.
+  std::chrono::steady_clock::time_point exec_start;
   const auto run_one = [&](std::size_t i) {
     const auto wall_start = std::chrono::steady_clock::now();
     const double cpu_start = thread_cpu_seconds();
     std::string record = execute(i);
+    const auto done = std::chrono::steady_clock::now();
     stats.timings[i].cpu_seconds = thread_cpu_seconds() - cpu_start;
     stats.timings[i].wall_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      wall_start)
-            .count();
+        std::chrono::duration<double>(done - wall_start).count();
+    const double done_seconds =
+        std::chrono::duration<double>(done - exec_start).count();
+    stats.timings[i].done_seconds = done_seconds;
     if (options.dedup && !jobs[i].memo_key.empty()) {
       memo->insert(jobs[i].memo_key, record);
     }
-    for (const std::size_t dup : duplicates[i]) writer.push(dup, record);
+    for (const std::size_t dup : duplicates[i]) {
+      // A duplicate's record exists exactly when its leader's does.
+      stats.timings[dup].done_seconds = done_seconds;
+      writer.push(dup, record);
+    }
     writer.push(i, std::move(record));
   };
 
@@ -103,7 +121,7 @@ EngineStats run_batch(const std::vector<Job>& jobs,
           ? options.threads
           : std::max<std::size_t>(1, std::thread::hardware_concurrency()));
   stats.threads = threads;
-  const auto batch_start = std::chrono::steady_clock::now();
+  exec_start = std::chrono::steady_clock::now();
   if (threads <= 1) {
     while (const auto i = queue.pop()) run_one(*i);
   } else {
@@ -121,7 +139,7 @@ EngineStats run_batch(const std::vector<Job>& jobs,
   }
   stats.makespan_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                    batch_start)
+                                    exec_start)
           .count();
   stats.executed = scheduled.size();
   stats.max_buffered = writer.max_buffered();

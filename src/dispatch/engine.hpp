@@ -6,7 +6,8 @@
 // each job as {content address, estimated cost} plus a pure execute
 // function, and the engine owns *how* the batch runs —
 //
-//   placement   WorkQueue orders execution starts (fifo / ljf);
+//   placement   WorkQueue orders execution starts (fifo / ljf / edf /
+//               priority / srpt, or a registered third-party policy);
 //   dedup       jobs sharing a content address execute once: a prior
 //               batch's record is served from the ResultMemo, and
 //               within-batch duplicates are grouped behind one leader
@@ -46,14 +47,27 @@ struct Job {
   /// e.g. parse failures carrying a line number.
   std::string memo_key;
   /// Estimated execution cost (CostModel units); only its ordering
-  /// matters, and only under SchedulePolicy::kLjf.
+  /// matters, and only under cost-driven policies (ljf/priority/srpt).
   double cost = 0.0;
+  /// SLO deadline in seconds from the start of the execution window;
+  /// kNoDeadline when the job has none. Orders execution under edf and
+  /// is scored against JobTiming::done_seconds — never changes output.
+  double deadline = kNoDeadline;
+  /// Relative weight (finite, > 0); orders execution under the
+  /// 'priority' (WSPT) policy.
+  double priority = 1.0;
 };
 
 struct JobTiming {
   double wall_seconds = 0.0;  ///< 0 for memoized jobs
   double cpu_seconds = 0.0;   ///< executing thread's CPU time (0 where
                               ///< the platform offers no thread clock)
+  /// Completion offset from the start of the execution window: when
+  /// this job's record existed, in the same clock deadlines are
+  /// expressed in. 0 for planning-time memo hits (their record exists
+  /// before any worker starts); within-batch duplicates inherit their
+  /// leader's completion.
+  double done_seconds = 0.0;
   bool memo_hit = false;      ///< record served without executing
 };
 

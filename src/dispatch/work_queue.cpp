@@ -1,15 +1,56 @@
 #include "dispatch/work_queue.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <map>
+#include <mutex>
 
 #include "util/error.hpp"
 
 namespace thermo::dispatch {
 
+namespace {
+
+struct PolicyRegistry {
+  std::mutex mutex;
+  std::map<std::string, PolicyOrder, std::less<>> policies;
+};
+
+/// Process-wide registry, built-ins preregistered on first touch.
+/// Comparators order by the primary key ONLY — seal()'s stable_sort
+/// supplies the ascending-index tiebreak (see work_queue.hpp).
+PolicyRegistry& registry() {
+  static PolicyRegistry& instance = *[] {
+    auto* r = new PolicyRegistry;  // leaked: outlives every static dtor
+    r->policies.emplace("fifo", PolicyOrder{});  // keep insertion order
+    r->policies.emplace("ljf", [](const WorkItem& a, const WorkItem& b) {
+      return a.cost > b.cost;
+    });
+    r->policies.emplace("edf", [](const WorkItem& a, const WorkItem& b) {
+      return a.deadline < b.deadline;
+    });
+    // WSPT: a.cost/a.priority < b.cost/b.priority, cross-multiplied so
+    // the comparison is exact (priorities are guarded finite positive).
+    r->policies.emplace("priority", [](const WorkItem& a, const WorkItem& b) {
+      return a.cost * b.priority < b.cost * a.priority;
+    });
+    r->policies.emplace("srpt", [](const WorkItem& a, const WorkItem& b) {
+      return a.cost < b.cost;
+    });
+    return r;
+  }();
+  return instance;
+}
+
+}  // namespace
+
 const char* schedule_policy_name(SchedulePolicy policy) {
   switch (policy) {
     case SchedulePolicy::kFifo: return "fifo";
     case SchedulePolicy::kLjf: return "ljf";
+    case SchedulePolicy::kEdf: return "edf";
+    case SchedulePolicy::kPriority: return "priority";
+    case SchedulePolicy::kSrpt: return "srpt";
   }
   return "?";
 }
@@ -17,27 +58,76 @@ const char* schedule_policy_name(SchedulePolicy policy) {
 std::optional<SchedulePolicy> schedule_policy_from_name(std::string_view name) {
   if (name == "fifo") return SchedulePolicy::kFifo;
   if (name == "ljf") return SchedulePolicy::kLjf;
+  if (name == "edf") return SchedulePolicy::kEdf;
+  if (name == "priority") return SchedulePolicy::kPriority;
+  if (name == "srpt") return SchedulePolicy::kSrpt;
   return std::nullopt;
 }
 
-WorkQueue::WorkQueue(SchedulePolicy policy) : policy_(policy) {}
+void register_schedule_policy(std::string_view name, PolicyOrder order) {
+  THERMO_REQUIRE(!name.empty(), "schedule policy name must be non-empty");
+  auto& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  const bool inserted =
+      reg.policies.emplace(std::string(name), std::move(order)).second;
+  THERMO_REQUIRE(inserted, "schedule policy '" + std::string(name) +
+                               "' is already registered");
+}
+
+bool schedule_policy_registered(std::string_view name) {
+  auto& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  return reg.policies.find(name) != reg.policies.end();
+}
+
+std::vector<std::string> registered_schedule_policies() {
+  auto& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  std::vector<std::string> names;
+  names.reserve(reg.policies.size());
+  for (const auto& [name, order] : reg.policies) names.push_back(name);
+  return names;  // std::map iteration is already sorted
+}
+
+WorkQueue::WorkQueue(SchedulePolicy policy)
+    : WorkQueue(std::string_view(schedule_policy_name(policy))) {}
+
+WorkQueue::WorkQueue(std::string_view policy_name)
+    : policy_name_(policy_name) {
+  auto& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  const auto it = reg.policies.find(policy_name);
+  THERMO_REQUIRE(it != reg.policies.end(),
+                 "unknown schedule policy '" + policy_name_ + "'");
+  order_fn_ = it->second;
+}
 
 void WorkQueue::push(std::size_t index, double cost) {
+  WorkItem item;
+  item.index = index;
+  item.cost = cost;
+  push(item);
+}
+
+void WorkQueue::push(const WorkItem& item) {
   THERMO_REQUIRE(!sealed_, "WorkQueue::push after seal()");
-  order_.push_back(Item{index, cost});
+  THERMO_REQUIRE(std::isfinite(item.cost) && item.cost >= 0.0,
+                 "WorkQueue::push: cost must be finite and >= 0");
+  THERMO_REQUIRE(!std::isnan(item.deadline) && item.deadline > 0.0,
+                 "WorkQueue::push: deadline must be > 0 (kNoDeadline if unset)");
+  THERMO_REQUIRE(std::isfinite(item.priority) && item.priority > 0.0,
+                 "WorkQueue::push: priority must be finite and > 0");
+  order_.push_back(item);
 }
 
 void WorkQueue::seal() {
   THERMO_REQUIRE(!sealed_, "WorkQueue::seal called twice");
   sealed_ = true;
-  if (policy_ == SchedulePolicy::kLjf) {
-    // stable_sort + the ascending-index tiebreak make the pop order a
-    // pure function of (costs, indices) — no dependence on push timing.
-    std::stable_sort(order_.begin(), order_.end(),
-                     [](const Item& a, const Item& b) {
-                       if (a.cost != b.cost) return a.cost > b.cost;
-                       return a.index < b.index;
-                     });
+  if (order_fn_) {
+    // stable_sort over insertion order: equal primary keys keep
+    // ascending input index, making the pop order a pure function of
+    // (items, policy) — no dependence on push timing.
+    std::stable_sort(order_.begin(), order_.end(), order_fn_);
   }
 }
 

@@ -267,6 +267,10 @@ void GenConfig::validate() const {
   if (!std::isfinite(dup_rate) || dup_rate < 0.0 || dup_rate >= 1.0) {
     fail("dup_rate", "must be in [0, 1)");
   }
+  if (!std::isfinite(deadline_rate) || deadline_rate < 0.0 ||
+      deadline_rate > 1.0) {
+    fail("deadline_rate", "must be in [0, 1]");
+  }
   for (const auto& [weight, name] :
        {std::pair{mix.sweep, "mix.sweep"}, {mix.ptrace, "mix.ptrace"},
         {mix.chained, "mix.chained"}}) {
@@ -300,6 +304,8 @@ GeneratedStream generate_stream(const GenConfig& config) {
   stream.costs.reserve(config.count);
   std::vector<RequestKind> kinds;  // per line, for stats
   kinds.reserve(config.count);
+  std::vector<char> deadlined;     // per line, for stats
+  deadlined.reserve(config.count);
 
   for (std::size_t i = 0; i < config.count; ++i) {
     if (!stream.lines.empty() && rng.chance(config.dup_rate)) {
@@ -310,6 +316,7 @@ GeneratedStream generate_stream(const GenConfig& config) {
       stream.lines.push_back(stream.lines[source]);
       stream.costs.push_back(stream.costs[source]);
       kinds.push_back(kinds[source]);
+      deadlined.push_back(deadlined[source]);
       ++stream.stats.duplicates;
       continue;
     }
@@ -322,6 +329,14 @@ GeneratedStream generate_stream(const GenConfig& config) {
     } else {
       request = make_chained(rng);
     }
+    // The outer rate check short-circuits: a deadline_rate of 0 draws
+    // NOTHING, so streams from configs predating the knob stay
+    // byte-identical (the gen_test golden pins this).
+    if (config.deadline_rate > 0.0 && rng.chance(config.deadline_rate)) {
+      request.deadline_s =
+          rng.chance(0.5) ? kTightDeadlineS : kGenerousDeadlineS;
+    }
+    deadlined.push_back(request.deadline_s > 0.0 ? 1 : 0);
     request.id = serial_id(stream.stats.fresh);
     stream.lines.push_back(scenario::to_json_line(request));
     stream.costs.push_back(scenario::estimate_request_cost(request));
@@ -338,6 +353,9 @@ GeneratedStream generate_stream(const GenConfig& config) {
       case RequestKind::kPtrace: ++stream.stats.ptrace; break;
       case RequestKind::kChained: ++stream.stats.chained; break;
     }
+  }
+  for (const char flag : deadlined) {
+    if (flag != 0) ++stream.stats.deadlined;
   }
   return stream;
 }

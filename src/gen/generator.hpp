@@ -56,6 +56,15 @@ struct KindMix {
   double chained = 0.15; ///< kind "chained" (chained-session validation)
 };
 
+/// The deadline values --deadline-rate draws from, machine-independent
+/// by construction: kTight is far below any real scenario execution (an
+/// executed job always misses it; only a planning-time memo hit, whose
+/// record exists at window start, meets it), kGenerous is far above any
+/// batch makespan (never missed). Tests and bench gates can therefore
+/// pin exact miss counts from the stream alone.
+constexpr double kTightDeadlineS = 1e-7;
+constexpr double kGenerousDeadlineS = 1e6;
+
 struct GenConfig {
   std::uint64_t seed = 1;
   std::size_t count = 1000;  ///< total lines, duplicates included
@@ -71,6 +80,14 @@ struct GenConfig {
   /// ids, so with --dedup the serve memo hit count equals the duplicate
   /// count exactly (the bench_gen gate).
   double dup_rate = 0.0;
+
+  /// Probability that a fresh request carries a deadline_s, in [0, 1]:
+  /// half tight (kTightDeadlineS — always missed when executed), half
+  /// generous (kGenerousDeadlineS — never missed), so SLO tests can pin
+  /// miss counts without timing assumptions. 0 (the default) draws
+  /// nothing from the RNG, keeping streams byte-identical to configs
+  /// that predate the knob.
+  double deadline_rate = 0.0;
 
   KindMix mix;
   OrderPattern order = OrderPattern::kShuffled;
@@ -95,6 +112,7 @@ struct GenStats {
   std::size_t sweep = 0;
   std::size_t ptrace = 0;
   std::size_t chained = 0;
+  std::size_t deadlined = 0;   ///< lines carrying a deadline_s (dups included)
 };
 
 struct GeneratedStream {

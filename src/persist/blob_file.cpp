@@ -1,0 +1,78 @@
+#include "persist/blob_file.hpp"
+
+#include <cctype>
+#include <cstdint>
+#include <string>
+
+#include "util/hash.hpp"
+
+namespace thermo::persist {
+
+namespace {
+
+constexpr std::string_view kMagic = "thermoblob v1 ";
+
+/// Parses a non-negative decimal at `pos` in `text`, advancing `pos`
+/// past the digits. False when no digit is present or the value
+/// overflows 64 bits.
+bool parse_decimal(std::string_view text, std::size_t& pos,
+                   std::uint64_t& value) {
+  if (pos >= text.size() ||
+      !std::isdigit(static_cast<unsigned char>(text[pos]))) {
+    return false;
+  }
+  value = 0;
+  while (pos < text.size() &&
+         std::isdigit(static_cast<unsigned char>(text[pos]))) {
+    const std::uint64_t digit =
+        static_cast<std::uint64_t>(text[pos] - '0');
+    if (value > (UINT64_MAX - digit) / 10) return false;
+    value = value * 10 + digit;
+    ++pos;
+  }
+  return true;
+}
+
+}  // namespace
+
+void write_blob_file(Fs& fs, const std::string& dir, const std::string& name,
+                     std::string_view payload) {
+  fs.create_directories(dir);
+  const std::string path = dir + "/" + name;
+  const std::string tmp = path + ".tmp";
+  if (fs.exists(tmp)) fs.remove_file(tmp);
+  std::string frame;
+  frame.reserve(kMagic.size() + 48 + payload.size());
+  frame += kMagic;
+  frame += std::to_string(payload.size());
+  frame += ' ';
+  frame += std::to_string(fnv1a64(payload));
+  frame += '\n';
+  frame += payload;
+  auto file = fs.open_append(tmp);
+  file->append(frame);
+  file->sync();
+  file->close();
+  fs.rename_file(tmp, path);
+}
+
+std::optional<std::string> read_blob_file(Fs& fs, const std::string& path) {
+  if (!fs.exists(path)) return std::nullopt;
+  const std::string raw = fs.read_file(path);
+  if (raw.compare(0, kMagic.size(), kMagic) != 0) return std::nullopt;
+  std::size_t pos = kMagic.size();
+  std::uint64_t size = 0;
+  if (!parse_decimal(raw, pos, size)) return std::nullopt;
+  if (pos >= raw.size() || raw[pos] != ' ') return std::nullopt;
+  ++pos;
+  std::uint64_t checksum = 0;
+  if (!parse_decimal(raw, pos, checksum)) return std::nullopt;
+  if (pos >= raw.size() || raw[pos] != '\n') return std::nullopt;
+  ++pos;
+  if (raw.size() - pos != size) return std::nullopt;
+  const std::string_view payload(raw.data() + pos, raw.size() - pos);
+  if (fnv1a64(payload) != checksum) return std::nullopt;
+  return std::string(payload);
+}
+
+}  // namespace thermo::persist

@@ -1,0 +1,52 @@
+// Crash-safe single-blob file: the persist layer's primitive for small
+// *mutable* state that lives next to an append-only store. SegmentStore
+// records are immutable by contract (first insert wins), so state that
+// is rewritten on every update — like the dispatch layer's calibration
+// sufficient statistics — cannot ride in a segment; it gets its own
+// atomically-replaced file instead.
+//
+// Write protocol (all through the `Fs` seam, so FaultFs can stop the
+// world at every operation boundary — tests/persist_calibration_test.cpp
+// sweeps them all):
+//
+//   1. remove a leftover <path>.tmp, if any (a previous crash);
+//   2. append header + payload to <path>.tmp, fsync, close;
+//   3. rename <path>.tmp → <path>  (the atomic commit point).
+//
+// A crash anywhere before step 3 leaves the previous blob (or nothing)
+// fully intact; after step 3 the new blob is durable in full. There is
+// no in-between: the reader can only ever observe an old-complete or
+// new-complete file — or a structurally damaged one (torn sector,
+// truncation, editor accident), which read_blob_file reports as
+// "absent" rather than returning garbage, because the header pins the
+// payload length and an fnv1a64 checksum:
+//
+//   thermoblob v1 <payload bytes> <fnv1a64 decimal>\n<payload>
+//
+// Single-writer contract (same as SegmentStore): concurrent writers of
+// one path are not coordinated here.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "persist/fault_fs.hpp"
+
+namespace thermo::persist {
+
+/// Atomically replaces the blob `dir/name` with `payload` (see file
+/// comment for the crash-safety protocol). Creates `dir` if missing.
+/// Throws IoError on filesystem failure — the previous blob, if any,
+/// is still intact and readable in full when it does.
+void write_blob_file(Fs& fs, const std::string& dir, const std::string& name,
+                     std::string_view payload);
+
+/// The payload of the blob at `path`, or nullopt when the file does not
+/// exist or is structurally damaged (bad magic/version, length
+/// mismatch, checksum mismatch). Damage is deliberately indistinguish-
+/// able from absence: callers fall back to defaults either way, never
+/// consume garbage. Throws IoError only on filesystem failure.
+std::optional<std::string> read_blob_file(Fs& fs, const std::string& path);
+
+}  // namespace thermo::persist

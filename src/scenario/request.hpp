@@ -149,6 +149,18 @@ struct ScenarioRequest {
 
   RequestKind kind = RequestKind::kStclSweep;
 
+  /// Optional SLO deadline in seconds (from the start of the batch's
+  /// execution window); 0 = unset. Valid for every kind — it describes
+  /// the serving contract, not the scenario — and feeds the edf policy
+  /// plus the per-request deadline_met flag in the serve summary. Never
+  /// changes the result record.
+  double deadline_s = 0.0;
+
+  /// Relative scheduling weight (finite, > 0; default 1): higher values
+  /// start earlier under the 'priority' policy. Like deadline_s, a
+  /// serving knob only — never part of the result record.
+  double priority = 1.0;
+
   SocSelector soc;
 
   /// kind == kPtrace only.

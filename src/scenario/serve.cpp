@@ -86,12 +86,34 @@ ServeSummary serve_stream(std::istream& in, std::ostream& out,
   // memo's content address (identical bytes ⇔ identical record — the
   // id and backend defaults are already resolved above, so two lines
   // that differ only in *those* do not alias). Keys are only
-  // serialized when the memo will actually read them.
+  // serialized when the memo will actually read them. With a calibrator
+  // wired in, costs come from its current constants (fitted seconds
+  // once warm); placement consumes only their ordering, so a different
+  // model can never change output bytes.
+  const dispatch::CostModel cost_model = options.calibrator != nullptr
+                                             ? options.calibrator->model()
+                                             : dispatch::CostModel();
+  const bool calibration_active =
+      options.calibrator != nullptr && options.calibrator->ready();
   std::vector<dispatch::Job> jobs(n);
+  std::vector<dispatch::CostFeatures> features(n);
   for (std::size_t i = 0; i < n; ++i) {
     if (lines[i].valid) {
-      if (options.dedup) jobs[i].memo_key = to_json_line(lines[i].request);
-      jobs[i].cost = estimate_request_cost(lines[i].request);
+      if (options.dedup) {
+        // The memo key strips the SLO envelope: deadline/priority only
+        // say how urgently to serve, the record is identical — two
+        // requests differing only there must share one cache entry.
+        ScenarioRequest keyed = lines[i].request;
+        keyed.deadline_s = 0.0;
+        keyed.priority = 1.0;
+        jobs[i].memo_key = to_json_line(keyed);
+      }
+      features[i] = request_cost_features(lines[i].request);
+      jobs[i].cost = cost_model.estimate(features[i]);
+      jobs[i].deadline = lines[i].request.deadline_s > 0.0
+                             ? lines[i].request.deadline_s
+                             : dispatch::kNoDeadline;
+      jobs[i].priority = lines[i].request.priority;
     }
   }
 
@@ -139,11 +161,54 @@ ServeSummary serve_stream(std::istream& in, std::ostream& out,
     timing.cost = jobs[i].cost;
     timing.wall_seconds = stats.timings[i].wall_seconds;
     timing.cpu_seconds = stats.timings[i].cpu_seconds;
+    timing.done_seconds = stats.timings[i].done_seconds;
+    if (lines[i].valid && lines[i].request.deadline_s > 0.0) {
+      timing.deadline_s = lines[i].request.deadline_s;
+      timing.deadline_met = timing.done_seconds <= timing.deadline_s;
+      ++summary.deadline_requests;
+      if (timing.deadline_met) {
+        ++summary.deadline_met;
+      } else {
+        ++summary.deadline_missed;
+      }
+    }
     if (timing.ok) {
       ++summary.succeeded;
     } else {
       ++summary.failed;
     }
+  }
+
+  if (options.calibrator != nullptr) {
+    summary.calibration_enabled = true;
+    summary.calibration_active = calibration_active;
+    // Close the loop: fold this batch's executed ok requests back into
+    // the fit (memo hits carry no measurement; failed records measure
+    // error-path time, not scenario cost), then score the fixed
+    // constants against the post-batch fit on the same jobs.
+    std::vector<std::size_t> observed;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (lines[i].valid && !stats.timings[i].memo_hit && ok_flags[i] != 0) {
+        options.calibrator->observe(features[i], stats.timings[i].wall_seconds);
+        observed.push_back(i);
+      }
+    }
+    summary.calibration_samples = options.calibrator->samples();
+    const dispatch::CostModel fixed_model;
+    const dispatch::CostModel fitted_model = options.calibrator->model();
+    std::vector<double> fixed_estimates, fitted_estimates, measured;
+    fixed_estimates.reserve(observed.size());
+    fitted_estimates.reserve(observed.size());
+    measured.reserve(observed.size());
+    for (const std::size_t i : observed) {
+      fixed_estimates.push_back(fixed_model.estimate(features[i]));
+      fitted_estimates.push_back(fitted_model.estimate(features[i]));
+      measured.push_back(stats.timings[i].wall_seconds);
+    }
+    summary.fixed_error =
+        dispatch::median_relative_error(fixed_estimates, measured);
+    summary.calibrated_error =
+        dispatch::median_relative_error(fitted_estimates, measured);
   }
   if (options.disk_memo != nullptr && options.dedup) {
     summary.disk_cache_enabled = true;
@@ -188,6 +253,34 @@ JsonValue serve_summary_to_json(const ServeSummary& summary) {
                                        static_cast<double>(summary.requests)
                                  : 0.0));
   out.set("memo", std::move(memo));
+
+  // SLO scoreboard: requests carrying a deadline_s, split by whether
+  // their record existed within it (additive to schema v1 — consumers
+  // that predate deadlines never see a changed field).
+  JsonValue slo = JsonValue::object();
+  slo.set("deadline_requests",
+          JsonValue::number(static_cast<double>(summary.deadline_requests)));
+  slo.set("met", JsonValue::number(static_cast<double>(summary.deadline_met)));
+  slo.set("missed",
+          JsonValue::number(static_cast<double>(summary.deadline_missed)));
+  out.set("slo", std::move(slo));
+
+  // Cost-model calibration. `enabled` mirrors --calibrate; `active`
+  // says placement actually used fitted constants (kMinSamples reached
+  // before this batch); the two errors compare the hand-tuned defaults
+  // to the post-batch fit on this batch's executed requests.
+  JsonValue calibration = JsonValue::object();
+  calibration.set("enabled", JsonValue::boolean(summary.calibration_enabled));
+  if (summary.calibration_enabled) {
+    calibration.set("active", JsonValue::boolean(summary.calibration_active));
+    calibration.set(
+        "samples",
+        JsonValue::number(static_cast<double>(summary.calibration_samples)));
+    calibration.set("fixed_error", JsonValue::number(summary.fixed_error));
+    calibration.set("calibrated_error",
+                    JsonValue::number(summary.calibrated_error));
+  }
+  out.set("calibration", std::move(calibration));
 
   // Disk tier of the memo (serve --cache-dir). `enabled` is always
   // present so consumers can branch without probing for keys; counts
@@ -249,6 +342,11 @@ JsonValue serve_summary_to_json(const ServeSummary& summary) {
     t.set("cost", JsonValue::number(timing.cost));
     t.set("wall_s", JsonValue::number(timing.wall_seconds));
     t.set("cpu_s", JsonValue::number(timing.cpu_seconds));
+    t.set("done_s", JsonValue::number(timing.done_seconds));
+    if (timing.deadline_s > 0.0) {
+      t.set("deadline_s", JsonValue::number(timing.deadline_s));
+      t.set("deadline_met", JsonValue::boolean(timing.deadline_met));
+    }
     timings.append(std::move(t));
   }
   out.set("request_timings", std::move(timings));

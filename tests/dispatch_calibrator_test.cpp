@@ -1,0 +1,295 @@
+// Calibrator property suite: the self-calibrating cost model's whole
+// contract, proved on synthetic workloads with KNOWN ground-truth
+// constants. The convergence property is the heart of it — generate
+// jobs whose wall times come from a planted CostConstants (plus seeded
+// multiplicative noise), feed the (features, seconds) pairs through
+// observe(), and require the fitted constants to land within a few
+// percent of the plant. Everything is deterministic per seed, so a
+// failure replays exactly.
+//
+// Also pinned here: the warm-up gate (below kMinSamples the fallback
+// constants are served unchanged), exact serialize()/deserialize()
+// round-trips, deserialize's nullopt-on-damage contract (a torn
+// calibration blob must fall back to defaults, never throw or return
+// garbage), observation-sequence determinism (same jobs in, same
+// serialized state out — the property the serve byte-determinism
+// invariant leans on), and the median_relative_error metric's scale
+// invariance (it must compare relative-unit fixed constants against
+// seconds-unit fitted ones fairly).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "dispatch/calibrator.hpp"
+#include "dispatch/cost_model.hpp"
+#include "util/rng.hpp"
+
+namespace thermo::dispatch {
+namespace {
+
+/// Deterministic, deliberately heterogeneous feature stream: both
+/// backends, steady and transient oracles, explicit and estimated call
+/// counts, node counts spanning two orders of magnitude. The variety is
+/// what keeps the normal equations well-conditioned across all four
+/// fitted coefficients.
+CostFeatures synthetic_features(std::size_t i) {
+  CostFeatures features;
+  features.nodes = 16 + (i % 7) * 50;
+  features.cores = 2 + i % 5;
+  features.sparse = (i % 2) == 1;
+  features.transient = (i % 3) != 0;
+  features.steps_per_call = 5.0 + static_cast<double>(i % 4);
+  features.stcl_points = 1 + i % 3;
+  features.oracle_calls =
+      (i % 4) == 0 ? 10.0 + static_cast<double>(i) : 0.0;
+  return features;
+}
+
+/// The planted ground truth. validations_per_core must equal the
+/// fallback's (the calibrator holds it fixed — it is collinear with the
+/// per-call terms), so only the other four constants differ from the
+/// defaults.
+CostConstants planted_constants() {
+  CostConstants truth;
+  truth.per_request = 3.0;
+  truth.dense_ops_per_node_sq = 2e-4;
+  truth.sparse_ops_per_node = 1.5e-2;
+  truth.per_call_overhead = 0.5;
+  truth.validations_per_core = CostConstants{}.validations_per_core;
+  return truth;
+}
+
+/// Feeds `count` synthetic jobs into `calibrator`, with wall times from
+/// the planted constants times (1 + noise_amplitude * uniform[-1,1)).
+void observe_planted_jobs(CostCalibrator& calibrator, std::size_t count,
+                          double noise_amplitude, std::uint64_t seed) {
+  const CostModel truth(planted_constants());
+  Rng rng(seed);
+  for (std::size_t i = 0; i < count; ++i) {
+    const CostFeatures features = synthetic_features(i);
+    const double noise = noise_amplitude * rng.uniform(-1.0, 1.0);
+    calibrator.observe(features, truth.estimate(features) * (1.0 + noise));
+  }
+}
+
+void expect_near_relative(double actual, double expected, double tolerance,
+                          const char* label) {
+  EXPECT_LE(std::abs(actual - expected), tolerance * expected)
+      << label << ": fitted " << actual << " vs planted " << expected;
+}
+
+TEST(CostCalibrator, RecoversPlantedConstantsFromNoisyMeasurements) {
+  CostCalibrator calibrator;
+  observe_planted_jobs(calibrator, 200, /*noise_amplitude=*/0.02,
+                       /*seed=*/0xc0ffee);
+  ASSERT_TRUE(calibrator.ready());
+  const CostConstants truth = planted_constants();
+  const CostConstants fitted = calibrator.constants();
+  expect_near_relative(fitted.per_request, truth.per_request, 0.05,
+                       "per_request");
+  expect_near_relative(fitted.dense_ops_per_node_sq,
+                       truth.dense_ops_per_node_sq, 0.05,
+                       "dense_ops_per_node_sq");
+  expect_near_relative(fitted.sparse_ops_per_node, truth.sparse_ops_per_node,
+                       0.05, "sparse_ops_per_node");
+  expect_near_relative(fitted.per_call_overhead, truth.per_call_overhead,
+                       0.05, "per_call_overhead");
+  // Held fixed, never fitted.
+  EXPECT_EQ(fitted.validations_per_core, truth.validations_per_core);
+}
+
+TEST(CostCalibrator, NoiseFreeFitIsExactToRidgePrecision) {
+  CostCalibrator calibrator;
+  observe_planted_jobs(calibrator, 64, /*noise_amplitude=*/0.0, /*seed=*/1);
+  ASSERT_TRUE(calibrator.ready());
+  const CostConstants truth = planted_constants();
+  const CostConstants fitted = calibrator.constants();
+  // The only perturbation left is the ~1e-8-relative ridge.
+  expect_near_relative(fitted.per_request, truth.per_request, 1e-5,
+                       "per_request");
+  expect_near_relative(fitted.dense_ops_per_node_sq,
+                       truth.dense_ops_per_node_sq, 1e-5,
+                       "dense_ops_per_node_sq");
+  expect_near_relative(fitted.sparse_ops_per_node, truth.sparse_ops_per_node,
+                       1e-5, "sparse_ops_per_node");
+  expect_near_relative(fitted.per_call_overhead, truth.per_call_overhead,
+                       1e-5, "per_call_overhead");
+}
+
+TEST(CostCalibrator, ConvergenceHoldsAcrossSeeds) {
+  // The property, not one lucky draw: several independent noise seeds
+  // must all converge. Failures print the seed via SCOPED_TRACE.
+  for (const std::uint64_t seed : {2ULL, 17ULL, 9001ULL, 0xdeadULL}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    CostCalibrator calibrator;
+    observe_planted_jobs(calibrator, 160, /*noise_amplitude=*/0.05, seed);
+    ASSERT_TRUE(calibrator.ready());
+    const CostConstants truth = planted_constants();
+    const CostConstants fitted = calibrator.constants();
+    expect_near_relative(fitted.per_request, truth.per_request, 0.10,
+                         "per_request");
+    expect_near_relative(fitted.dense_ops_per_node_sq,
+                         truth.dense_ops_per_node_sq, 0.10,
+                         "dense_ops_per_node_sq");
+    expect_near_relative(fitted.sparse_ops_per_node,
+                         truth.sparse_ops_per_node, 0.10,
+                         "sparse_ops_per_node");
+    expect_near_relative(fitted.per_call_overhead, truth.per_call_overhead,
+                         0.10, "per_call_overhead");
+  }
+}
+
+TEST(CostCalibrator, ServesFallbackUntilMinSamples) {
+  CostConstants fallback;
+  fallback.per_request = 1234.5;
+  CostCalibrator calibrator(fallback);
+  const CostModel truth(planted_constants());
+  for (std::size_t i = 0; i < CostCalibrator::kMinSamples - 1; ++i) {
+    EXPECT_FALSE(calibrator.ready()) << "ready before sample " << i;
+    EXPECT_EQ(calibrator.constants().per_request, fallback.per_request);
+    const CostFeatures features = synthetic_features(i);
+    calibrator.observe(features, truth.estimate(features));
+  }
+  EXPECT_EQ(calibrator.samples(), CostCalibrator::kMinSamples - 1);
+  EXPECT_FALSE(calibrator.ready());
+  const CostFeatures last = synthetic_features(CostCalibrator::kMinSamples);
+  calibrator.observe(last, truth.estimate(last));
+  EXPECT_TRUE(calibrator.ready());
+}
+
+TEST(CostCalibrator, IgnoresUnusableMeasurements) {
+  CostCalibrator calibrator;
+  const CostFeatures features = synthetic_features(0);
+  calibrator.observe(features, std::nan(""));
+  calibrator.observe(features, -1.0);
+  calibrator.observe(features,
+                     std::numeric_limits<double>::infinity());
+  EXPECT_EQ(calibrator.samples(), 0u);
+}
+
+TEST(CostCalibrator, FittedConstantsStayPositiveOnDegenerateBatches) {
+  // A batch that never exercises the sparse backend leaves that column
+  // to the ridge; the coefficient floor must keep it positive so
+  // estimates stay monotone.
+  CostCalibrator calibrator;
+  const CostModel truth(planted_constants());
+  for (std::size_t i = 0; i < 64; ++i) {
+    CostFeatures features = synthetic_features(i);
+    features.sparse = false;
+    calibrator.observe(features, truth.estimate(features));
+  }
+  ASSERT_TRUE(calibrator.ready());
+  const CostConstants fitted = calibrator.constants();
+  EXPECT_GT(fitted.sparse_ops_per_node, 0.0);
+  EXPECT_GT(fitted.dense_ops_per_node_sq, 0.0);
+  EXPECT_GT(fitted.per_request, 0.0);
+  EXPECT_GT(fitted.per_call_overhead, 0.0);
+}
+
+TEST(CostCalibrator, SerializeRoundTripsExactly) {
+  CostCalibrator calibrator;
+  observe_planted_jobs(calibrator, 50, /*noise_amplitude=*/0.03, /*seed=*/7);
+  const std::string state = calibrator.serialize();
+  const auto restored = CostCalibrator::deserialize(state);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->samples(), calibrator.samples());
+  // Shortest-round-trip numbers make the trip exact: the restored
+  // calibrator re-serializes to the identical string and fits the
+  // identical constants.
+  EXPECT_EQ(restored->serialize(), state);
+  const CostConstants a = calibrator.constants();
+  const CostConstants b = restored->constants();
+  EXPECT_EQ(a.per_request, b.per_request);
+  EXPECT_EQ(a.dense_ops_per_node_sq, b.dense_ops_per_node_sq);
+  EXPECT_EQ(a.sparse_ops_per_node, b.sparse_ops_per_node);
+  EXPECT_EQ(a.per_call_overhead, b.per_call_overhead);
+}
+
+TEST(CostCalibrator, DeserializePassesFallbackThrough) {
+  CostConstants fallback;
+  fallback.per_request = 42.0;
+  CostCalibrator empty(fallback);
+  const auto restored = CostCalibrator::deserialize(empty.serialize(),
+                                                    fallback);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_FALSE(restored->ready());
+  EXPECT_EQ(restored->constants().per_request, 42.0);
+}
+
+TEST(CostCalibrator, DeserializeRejectsDamage) {
+  CostCalibrator calibrator;
+  observe_planted_jobs(calibrator, 40, 0.01, 3);
+  const std::string good = calibrator.serialize();
+  ASSERT_TRUE(CostCalibrator::deserialize(good).has_value());
+
+  // Every damage class returns nullopt — never throws, never garbage.
+  EXPECT_FALSE(CostCalibrator::deserialize("").has_value());
+  EXPECT_FALSE(CostCalibrator::deserialize("not json").has_value());
+  EXPECT_FALSE(CostCalibrator::deserialize("[1,2,3]").has_value());
+  EXPECT_FALSE(
+      CostCalibrator::deserialize(good.substr(0, good.size() / 2))
+          .has_value());  // truncation
+  std::string wrong_schema = good;
+  const auto at = wrong_schema.find("thermo.calibration.v1");
+  ASSERT_NE(at, std::string::npos);
+  wrong_schema.replace(at, 21, "thermo.calibration.v9");
+  EXPECT_FALSE(CostCalibrator::deserialize(wrong_schema).has_value());
+  // A member renamed away (missing "xty", unknown "xtz" in its place).
+  std::string renamed = good;
+  const auto xty_at = renamed.find("\"xty\"");
+  ASSERT_NE(xty_at, std::string::npos);
+  renamed.replace(xty_at, 5, "\"xtz\"");
+  EXPECT_FALSE(CostCalibrator::deserialize(renamed).has_value());
+  // Negative sample count.
+  std::string negative = good;
+  const auto samples_at = negative.find("\"samples\":");
+  ASSERT_NE(samples_at, std::string::npos);
+  negative.insert(samples_at + 10, "-");
+  EXPECT_FALSE(CostCalibrator::deserialize(negative).has_value());
+}
+
+TEST(CostCalibrator, StateIsAPureFunctionOfTheObservationSequence) {
+  CostCalibrator a;
+  CostCalibrator b;
+  observe_planted_jobs(a, 120, 0.04, 99);
+  observe_planted_jobs(b, 120, 0.04, 99);
+  EXPECT_EQ(a.serialize(), b.serialize());
+  // Different sequence, different state (the equality above is not
+  // trivially true).
+  CostCalibrator c;
+  observe_planted_jobs(c, 120, 0.04, 100);
+  EXPECT_NE(a.serialize(), c.serialize());
+}
+
+TEST(MedianRelativeError, ZeroForProportionallyCorrectEstimates) {
+  // Estimates in a different UNIT but perfect proportions: the metric
+  // must report zero — this is exactly the fixed-constants-vs-seconds
+  // comparison bench_dispatch gates on.
+  const std::vector<double> measured = {1.0, 2.0, 8.0, 0.5};
+  std::vector<double> estimates;
+  for (const double m : measured) estimates.push_back(m * 1e6);
+  EXPECT_EQ(median_relative_error(estimates, measured), 0.0);
+}
+
+TEST(MedianRelativeError, ScaleInvariant) {
+  const std::vector<double> measured = {1.0, 3.0, 2.0, 9.0, 4.0};
+  const std::vector<double> estimates = {1.1, 2.4, 2.2, 10.0, 3.0};
+  const double base = median_relative_error(estimates, measured);
+  std::vector<double> scaled;
+  for (const double e : estimates) scaled.push_back(e * 123.456);
+  EXPECT_DOUBLE_EQ(median_relative_error(scaled, measured), base);
+  EXPECT_GT(base, 0.0);
+}
+
+TEST(MedianRelativeError, SkipsUnusablePairsAndEmptyInput) {
+  EXPECT_EQ(median_relative_error({}, {}), 0.0);
+  EXPECT_EQ(median_relative_error({0.0, -1.0}, {1.0, 1.0}), 0.0);
+  // One valid pair among garbage: scale normalization makes it exact.
+  EXPECT_EQ(median_relative_error({0.0, 2.0}, {1.0, 4.0}), 0.0);
+}
+
+}  // namespace
+}  // namespace thermo::dispatch

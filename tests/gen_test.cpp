@@ -137,6 +137,71 @@ TEST(GenStats, ZipfSkewFavorsSmallSizes) {
   EXPECT_GT(smallest, 10 * std::max<std::size_t>(largest, 1));
 }
 
+TEST(GenDeadlines, RateZeroIsByteIdenticalToTheLegacyStream) {
+  // The no-deadline stream must not move a single byte when the knob
+  // exists but is off — the outer rate check short-circuits the RNG
+  // draw, so streams from earlier versions replay exactly.
+  GenConfig config;
+  config.seed = 42;
+  config.count = 200;
+  config.dup_rate = 0.25;
+  const GeneratedStream off = generate_stream(config);
+  EXPECT_EQ(off.stats.deadlined, 0u);
+  for (const std::string& line : off.lines) {
+    EXPECT_EQ(line.find("deadline_s"), std::string::npos);
+  }
+}
+
+TEST(GenDeadlines, RateOneDeadlinesEveryLineWithTheTwoPinnedValues) {
+  GenConfig config;
+  config.seed = 9;
+  config.count = 150;
+  config.dup_rate = 0.2;
+  config.deadline_rate = 1.0;
+  const GeneratedStream stream = generate_stream(config);
+  EXPECT_EQ(stream.stats.deadlined, config.count);
+  std::size_t tight = 0;
+  std::size_t generous = 0;
+  for (const std::string& line : stream.lines) {
+    const auto request = scenario::parse_request_line(line);
+    // Only the two machine-independent values ever appear: tight always
+    // misses on any hardware, generous never does.
+    if (request.deadline_s == kTightDeadlineS) {
+      ++tight;
+    } else if (request.deadline_s == kGenerousDeadlineS) {
+      ++generous;
+    } else {
+      ADD_FAILURE() << "unexpected deadline " << request.deadline_s;
+    }
+    // Fixpoint holds for deadlined lines too.
+    EXPECT_EQ(scenario::to_json_line(request), line);
+  }
+  EXPECT_GT(tight, 0u);
+  EXPECT_GT(generous, 0u);
+}
+
+TEST(GenDeadlines, DeterministicPerSeedAndCountsDupsInStats) {
+  GenConfig config;
+  config.seed = 21;
+  config.count = 400;
+  config.dup_rate = 0.3;
+  config.deadline_rate = 0.5;
+  const GeneratedStream a = generate_stream(config);
+  const GeneratedStream b = generate_stream(config);
+  EXPECT_EQ(a.lines, b.lines);
+  EXPECT_EQ(a.stats.deadlined, b.stats.deadlined);
+  // stats.deadlined counts LINES (duplicates of a deadlined source
+  // included), so it must equal a direct scan of the stream.
+  std::size_t scanned = 0;
+  for (const std::string& line : a.lines) {
+    if (scenario::parse_request_line(line).deadline_s > 0.0) ++scanned;
+  }
+  EXPECT_EQ(a.stats.deadlined, scanned);
+  EXPECT_NEAR(static_cast<double>(a.stats.deadlined) /
+                  static_cast<double>(config.count),
+              0.5, 0.08);
+}
+
 // --- arrival-order patterns ------------------------------------------
 
 GenConfig order_config(OrderPattern order) {
@@ -241,6 +306,14 @@ TEST(GenValidation, ExactMessages) {
   config.core_ladder = {8, 1};
   EXPECT_EQ(validation_error_of(config),
             "gen config: core_ladder: entries must be >= 2");
+
+  config = GenConfig{};
+  config.deadline_rate = 1.5;
+  EXPECT_EQ(validation_error_of(config),
+            "gen config: deadline_rate: must be in [0, 1]");
+  config.deadline_rate = -0.1;
+  EXPECT_EQ(validation_error_of(config),
+            "gen config: deadline_rate: must be in [0, 1]");
 }
 
 TEST(GenValidation, GenerateStreamRejectsInvalidConfigs) {

@@ -1,0 +1,230 @@
+// Fault sweep for the calibration blob: write_blob_file's crash-safety
+// contract proved at EVERY file-operation boundary, persist_crash_test
+// style. The workload writes blob A, then overwrites with blob B; a
+// fault-free run through FaultFs learns its op count N, and the sweep
+// replays it N times per fault kind (clean crash before/after each op,
+// short write, torn write, transient IoError), injecting the fault at
+// op 0, 1, ..., N-1. After each "crash" the file is re-read with the
+// REAL filesystem and the atomic-replace contract is checked:
+//
+//   * read_blob_file never throws on the survivors — damage reads as
+//     absence, exactly like a missing file;
+//   * the observable payload is A-complete, B-complete, or absent;
+//     NEVER a mix, a prefix, or garbage (a torn calibration record must
+//     fall back to defaults, not skew estimates);
+//   * once blob A's write acknowledged, a crash during the overwrite
+//     can never lose it: only the B-rename (the commit point) may
+//     switch the observable payload away from A;
+//   * kFailOp (transient I/O error, process survives) surfaces as
+//     IoError to the caller while the previous blob stays readable —
+//     the serve path catches it, warns, and keeps going.
+//
+// The tail of the file closes the loop end to end: a damaged-on-disk
+// calibration blob round-trips through read_blob_file +
+// CostCalibrator::deserialize into "use the defaults", never an abort.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+
+#include "dispatch/calibrator.hpp"
+#include "persist/blob_file.hpp"
+#include "persist/fault_fs.hpp"
+#include "persist_test_util.hpp"
+#include "util/error.hpp"
+
+namespace thermo::persist {
+namespace {
+
+using testing::ScopedTempDir;
+
+constexpr const char* kName = "calibration.v1";
+
+/// Payloads with embedded NULs and newlines: the blob frame pins length
+/// and checksum, so 8-bit-clean round-trips are part of the contract.
+std::string payload_a() {
+  return std::string("payload-A \0 first\nline two", 26);
+}
+std::string payload_b() {
+  // Longer than A, so a torn B-over-A tmp leaves trailing bytes a naive
+  // truncating writer would miss (the protocol removes the tmp first).
+  return std::string("payload-B \0 second, longer than A\nwith more", 43);
+}
+
+/// The canonical workload: first write (no previous blob), then an
+/// overwrite (previous blob must survive until the rename commits).
+/// `acked` counts how many writes returned.
+void run_workload(Fs& fs, const std::string& dir, int* acked) {
+  write_blob_file(fs, dir, kName, payload_a());
+  *acked = 1;
+  write_blob_file(fs, dir, kName, payload_b());
+  *acked = 2;
+}
+
+TEST(PersistCalibration, WriteThenReadRoundTrips) {
+  const ScopedTempDir dir("blob-roundtrip");
+  write_blob_file(real_fs(), dir.path(), kName, payload_a());
+  const auto read = read_blob_file(real_fs(), dir.path() + "/" + kName);
+  ASSERT_TRUE(read.has_value());
+  EXPECT_EQ(*read, payload_a());
+  // Overwrite replaces in full.
+  write_blob_file(real_fs(), dir.path(), kName, payload_b());
+  const auto again = read_blob_file(real_fs(), dir.path() + "/" + kName);
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(*again, payload_b());
+}
+
+TEST(PersistCalibration, MissingFileReadsAsAbsent) {
+  const ScopedTempDir dir("blob-missing");
+  EXPECT_FALSE(
+      read_blob_file(real_fs(), dir.path() + "/" + kName).has_value());
+}
+
+TEST(PersistCalibration, EveryFaultPointLeavesOldCompleteNewCompleteOrAbsent) {
+  // Discovery: fault-free run to learn the op count.
+  std::size_t total_ops = 0;
+  {
+    const ScopedTempDir dir("blob-discovery");
+    FaultFs fs(real_fs());
+    int acked = 0;
+    run_workload(fs, dir.path(), &acked);
+    ASSERT_EQ(acked, 2);
+    total_ops = fs.ops_seen();
+    // Sanity: both writes cross several op boundaries each.
+    ASSERT_GT(total_ops, 10u);
+  }
+
+  for (const FaultKind kind :
+       {FaultKind::kCrashBefore, FaultKind::kCrashAfter,
+        FaultKind::kShortWrite, FaultKind::kTornWrite, FaultKind::kFailOp}) {
+    for (std::size_t op = 0; op < total_ops; ++op) {
+      SCOPED_TRACE("fault kind " + std::to_string(static_cast<int>(kind)) +
+                   " at op " + std::to_string(op));
+      const ScopedTempDir dir("blob-sweep");
+      FaultPlan plan;
+      plan.after_ops = op;
+      plan.kind = kind;
+      plan.seed = op * 1000003ULL + static_cast<std::uint64_t>(kind) + 1;
+      FaultFs fs(real_fs(), plan);
+
+      int acked = 0;
+      bool faulted = false;
+      try {
+        run_workload(fs, dir.path(), &acked);
+      } catch (const IoError&) {
+        faulted = true;  // CrashError derives from IoError
+      }
+
+      // Recovery check with the real filesystem. read_blob_file must
+      // not throw: structural damage reads as absence.
+      const auto read =
+          read_blob_file(real_fs(), dir.path() + "/" + kName);
+      const bool is_a = read.has_value() && *read == payload_a();
+      const bool is_b = read.has_value() && *read == payload_b();
+      if (read.has_value()) {
+        EXPECT_TRUE(is_a || is_b)
+            << "observable blob is neither A-complete nor B-complete";
+      }
+      // Acknowledged writes bound what absence is allowed to mean:
+      // after A acked, A (or newer) must be observable — the overwrite
+      // may not lose it short of committing B.
+      if (acked >= 1) {
+        EXPECT_TRUE(is_a || is_b)
+            << "acknowledged blob lost (read "
+            << (read.has_value() ? "damaged bytes" : "nothing") << ")";
+      }
+      if (acked == 2) {
+        EXPECT_TRUE(is_b) << "second acknowledged write not observable";
+      }
+
+      if (kind == FaultKind::kFailOp && faulted) {
+        // Transient failure: the "process" survives. A retry through
+        // the now-clean fs must succeed and commit B.
+        int retry_acked = acked;
+        if (acked < 1) {
+          write_blob_file(fs, dir.path(), kName, payload_a());
+          retry_acked = 1;
+        }
+        if (retry_acked < 2) {
+          write_blob_file(fs, dir.path(), kName, payload_b());
+        }
+        const auto after_retry =
+            read_blob_file(real_fs(), dir.path() + "/" + kName);
+        ASSERT_TRUE(after_retry.has_value());
+        EXPECT_EQ(*after_retry, payload_b());
+      }
+    }
+  }
+}
+
+TEST(PersistCalibration, DamagedBlobFallsBackToDefaultCalibration) {
+  // End to end: persist a real calibrator, damage the file on disk in
+  // several ways, and check each damage class lands on "absent" →
+  // default constants, never a throw and never garbage constants.
+  const ScopedTempDir dir("blob-damage");
+  const std::string path = dir.path() + "/" + kName;
+
+  dispatch::CostCalibrator calibrator;
+  dispatch::CostFeatures features;
+  features.nodes = 64;
+  features.cores = 4;
+  for (std::size_t i = 0; i < 40; ++i) {
+    features.stcl_points = 1 + i % 3;
+    calibrator.observe(features, 0.5 + 0.01 * static_cast<double>(i));
+  }
+  write_blob_file(real_fs(), dir.path(), kName, calibrator.serialize());
+
+  // Undamaged: restores and is ready.
+  {
+    const auto blob = read_blob_file(real_fs(), path);
+    ASSERT_TRUE(blob.has_value());
+    const auto restored = dispatch::CostCalibrator::deserialize(*blob);
+    ASSERT_TRUE(restored.has_value());
+    EXPECT_TRUE(restored->ready());
+    EXPECT_EQ(restored->samples(), calibrator.samples());
+  }
+
+  const std::string intact = real_fs().read_file(path);
+  const auto rewrite = [&](const std::string& bytes) {
+    real_fs().remove_file(path);
+    auto file = real_fs().open_append(path);
+    file->append(bytes);
+    file->sync();
+    file->close();
+  };
+
+  // Truncation (torn tail), header corruption, payload bit-flip, and a
+  // stale tmp left next to a missing blob.
+  rewrite(intact.substr(0, intact.size() - 5));
+  EXPECT_FALSE(read_blob_file(real_fs(), path).has_value());
+
+  std::string bad_magic = intact;
+  bad_magic[0] = 'X';
+  rewrite(bad_magic);
+  EXPECT_FALSE(read_blob_file(real_fs(), path).has_value());
+
+  std::string flipped = intact;
+  flipped[intact.size() - 3] ^= 0x20;  // payload byte: checksum catches it
+  rewrite(flipped);
+  EXPECT_FALSE(read_blob_file(real_fs(), path).has_value());
+
+  // A leftover tmp from a crashed writer must not satisfy the read, and
+  // the next write must clear it and commit cleanly.
+  real_fs().remove_file(path);
+  {
+    auto tmp = real_fs().open_append(path + ".tmp");
+    tmp->append("half-written garbage");
+    tmp->sync();
+    tmp->close();
+  }
+  EXPECT_FALSE(read_blob_file(real_fs(), path).has_value());
+  write_blob_file(real_fs(), dir.path(), kName, calibrator.serialize());
+  const auto recovered = read_blob_file(real_fs(), path);
+  ASSERT_TRUE(recovered.has_value());
+  const auto restored = dispatch::CostCalibrator::deserialize(*recovered);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_TRUE(restored->ready());
+}
+
+}  // namespace
+}  // namespace thermo::persist

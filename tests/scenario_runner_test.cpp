@@ -89,6 +89,71 @@ TEST(ScenarioRunner, SharesModelsByGeometry) {
   EXPECT_EQ(runner.stats().model_misses, 2u);
 }
 
+/// A cheap request with its own synthetic geometry per `seed`: steady
+/// oracle, one STCL point, 12 cores — distinct geometries without
+/// distinct cost.
+ScenarioRequest synthetic_request(std::uint64_t seed) {
+  ScenarioRequest request;
+  request.id = "syn-" + std::to_string(seed);
+  request.soc.kind = SocKind::kSynthetic;
+  request.soc.synthetic.seed = seed;
+  request.stcl.min = request.stcl.max = 50.0;
+  request.solver.transient = false;
+  return request;
+}
+
+TEST(ScenarioRunner, ModelCacheEvictsCleanlyPastSixtyFourGeometries) {
+  // Regression for the kMaxCachedModels LRU bound: the 65th distinct
+  // geometry must evict the least recently used entry instead of
+  // growing forever — and eviction must be invisible except as a
+  // rebuild (a re-visited evicted geometry is a miss, a recently used
+  // one still hits).
+  ScenarioRunner runner;
+  for (std::uint64_t seed = 1;
+       seed <= ScenarioRunner::kMaxCachedModels + 1; ++seed) {
+    ASSERT_TRUE(runner.run(synthetic_request(seed)).ok) << "seed " << seed;
+  }
+  EXPECT_EQ(runner.stats().model_misses, ScenarioRunner::kMaxCachedModels + 1);
+  EXPECT_EQ(runner.stats().model_hits, 0u);
+
+  // Seed 1 was the LRU victim when seed 65 arrived: revisiting it is a
+  // rebuild...
+  ASSERT_TRUE(runner.run(synthetic_request(1)).ok);
+  EXPECT_EQ(runner.stats().model_misses, ScenarioRunner::kMaxCachedModels + 2);
+  EXPECT_EQ(runner.stats().model_hits, 0u);
+  // ...while the most recently inserted geometry is still resident.
+  ASSERT_TRUE(
+      runner.run(synthetic_request(ScenarioRunner::kMaxCachedModels + 1)).ok);
+  EXPECT_EQ(runner.stats().model_hits, 1u);
+}
+
+TEST(ScenarioRunner, ServeOutputUnchangedByMidBatchEviction) {
+  // A 66-geometry batch churns the model cache mid-serve; output bytes
+  // must not notice, at any thread count.
+  std::string input;
+  for (std::uint64_t seed = 1;
+       seed <= ScenarioRunner::kMaxCachedModels + 2; ++seed) {
+    input += to_json_line(synthetic_request(seed));
+    input += '\n';
+  }
+  std::string reference;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    ScenarioRunner runner;
+    ServeOptions options;
+    options.threads = threads;
+    std::istringstream in(input);
+    std::ostringstream out;
+    const ServeSummary summary = serve_stream(in, out, runner, options);
+    EXPECT_EQ(summary.failed, 0u);
+    EXPECT_EQ(summary.requests, ScenarioRunner::kMaxCachedModels + 2);
+    if (reference.empty()) {
+      reference = out.str();
+    } else {
+      EXPECT_EQ(out.str(), reference) << "threads=" << threads;
+    }
+  }
+}
+
 TEST(ScenarioRunner, CapturesErrorsInTheRecord) {
   ScenarioRunner runner;
   ScenarioRequest request;
