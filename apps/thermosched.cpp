@@ -39,7 +39,7 @@
 //             Identical flags always produce byte-identical streams.
 //             Schema: docs/GEN.md.
 //             Options: --count, --seed, --zipf, --dup, --order,
-//             --mix-sweep, --mix-ptrace, --mix-chained,
+//             --mix-sweep, --mix-ptrace, --mix-chained, --mix-grid,
 //             --deadline-rate, --out PATH|-
 //   info      Print floorplan statistics (areas, adjacency, boundary
 //             exposure, power densities).
@@ -116,6 +116,7 @@ struct CommonArgs {
   double gen_mix_sweep = 0.7;
   double gen_mix_ptrace = 0.15;
   double gen_mix_chained = 0.15;
+  double gen_mix_grid = 0.0;
   double gen_deadline_rate = 0.0;
 };
 
@@ -200,7 +201,8 @@ void print_global_usage(std::ostream& out) {
          "            [--count N] [--seed S] [--zipf Z] [--dup R]\n"
          "            [--order as-generated|shuffled|sorted|sorted-desc|\n"
          "            whale-last] [--mix-sweep W] [--mix-ptrace W]\n"
-         "            [--mix-chained W] [--deadline-rate R] [--out PATH|-]\n"
+         "            [--mix-chained W] [--mix-grid W] [--deadline-rate R]\n"
+         "            [--out PATH|-]\n"
          "  info      Floorplan statistics\n"
          "            [--flp PATH --density D | --alpha] [--csv]\n"
          "\n"
@@ -517,6 +519,7 @@ int cmd_gen(const CommonArgs& args) {
   config.mix.sweep = args.gen_mix_sweep;
   config.mix.ptrace = args.gen_mix_ptrace;
   config.mix.chained = args.gen_mix_chained;
+  config.mix.grid = args.gen_mix_grid;
   config.deadline_rate = args.gen_deadline_rate;
   config.order = parse_order_pattern(args.gen_order);
 
@@ -545,7 +548,7 @@ int cmd_gen(const CommonArgs& args) {
             << stream.stats.fresh << " fresh, " << stream.stats.duplicates
             << " duplicates; " << stream.stats.sweep << " stcl_sweep, "
             << stream.stats.ptrace << " ptrace, " << stream.stats.chained
-            << " chained; ";
+            << " chained, " << stream.stats.grid << " grid_steady; ";
   if (config.deadline_rate > 0.0) {
     std::cerr << stream.stats.deadlined << " deadlined; ";
   }
@@ -760,6 +763,8 @@ int main(int argc, char** argv) {
                    &args.gen_mix_ptrace);
     cli.add_double("mix-chained", "Relative weight of kind chained",
                    &args.gen_mix_chained);
+    cli.add_double("mix-grid", "Relative weight of kind grid_steady",
+                   &args.gen_mix_grid);
     cli.add_double("deadline-rate",
                    "Probability in [0, 1] that a fresh request carries a "
                    "deadline_s (half tight / half generous; docs/GEN.md)",

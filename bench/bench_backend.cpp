@@ -2,6 +2,7 @@
 // SolverBackend::kAuto's node-count crossover (thermal/backend.hpp).
 //
 // For each synthetic grid floorplan size it times, on the SAME model:
+//   * assembly           — sparse-first model build (Builder -> CSR);
 //   * cold factor        — dense Cholesky of G vs sparse LDLᵗ of G;
 //   * cached steady solve — one back-substitution per backend;
 //   * cached BE step     — one backward-Euler step per backend;
@@ -9,14 +10,29 @@
 //     session (factor + steps), per backend. This is the acceptance
 //     metric: at the largest grid (>= 1000 nodes) the sparse backend
 //     must win by >= 5x or the binary exits non-zero.
-// It also cross-checks the two backends against each other (steady and
-// transient) and fails if they disagree beyond the documented 1e-9
-// relative tolerance (docs/SOLVERS.md "Choosing a backend").
+// and records the symbolic factor fill with and without the
+// fill-reducing ordering (docs/SOLVERS.md "Ordering").
+//
+// A separate large-model section takes one 317x317 GridThermalModel —
+// 100,489 cells + 10 package nodes, past the 100k-node mark where the
+// dense backend is physically infeasible (~80 GB for the factor) — and
+// measures sparse assembly, the cold fill-ordered factorization, a
+// cached solve, and the process peak RSS.
+//
+// Exit-code gates (CI + smoke.bench_backend):
+//   * dense/sparse agreement within 1e-9 at every benchmarked size;
+//   * >= 5x sparse cold-simulate win at the largest (>= 1000 node) grid;
+//   * ordered fill strictly below natural fill at the largest grid and
+//     the 100k model (the ordering earns its complexity);
+//   * the 100k cold factor + solve completes with peak RSS below
+//     kMaxPeakRssMb — far under what the dense mirror alone would need.
 //
 // Self-timed (std::chrono), no Google Benchmark dependency, always
 // built; emits the machine-readable BENCH_backend.json
-// (schema thermo.bench_backend.v1) consumed by CI and registered as the
+// (schema thermo.bench_backend.v2) consumed by CI and registered as the
 // smoke.bench_backend CTest.
+#include <sys/resource.h>
+
 #include <chrono>
 #include <cmath>
 #include <fstream>
@@ -27,8 +43,10 @@
 #include "floorplan/generator.hpp"
 #include "linalg/cholesky.hpp"
 #include "linalg/ode.hpp"
+#include "linalg/ordering.hpp"
 #include "linalg/sparse_cholesky.hpp"
 #include "thermal/backend.hpp"
+#include "thermal/grid_model.hpp"
 #include "thermal/rc_model.hpp"
 #include "thermal/solver_cache.hpp"
 #include "thermal/steady_state.hpp"
@@ -37,12 +55,6 @@
 using namespace thermo;
 
 namespace {
-
-thermal::RCModel make_grid_model(std::size_t side) {
-  const floorplan::Floorplan fp =
-      floorplan::make_grid_floorplan(side, side, 0.016, 0.016);
-  return thermal::RCModel(fp, thermal::PackageParams{});
-}
 
 std::vector<double> grid_power(std::size_t blocks) {
   std::vector<double> power(blocks, 0.0);
@@ -67,6 +79,13 @@ double seconds_per_call(Fn&& fn, double min_time = 0.02,
   return elapsed / static_cast<double>(reps);
 }
 
+/// Process peak resident set in MB (ru_maxrss is KiB on Linux).
+double peak_rss_mb() {
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0.0;
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+}
+
 double max_rel_diff(const std::vector<double>& a,
                     const std::vector<double>& b) {
   double worst = 0.0;
@@ -80,6 +99,8 @@ double max_rel_diff(const std::vector<double>& a,
 
 struct BackendPoint {
   std::size_t side = 0, blocks = 0, nodes = 0, factor_nnz = 0;
+  std::size_t fill_natural = 0, fill_ordered = 0;
+  double assembly_s = 0.0;
   double dense_factor_s = 0.0, sparse_factor_s = 0.0;
   double dense_solve_s = 0.0, sparse_solve_s = 0.0;
   double dense_step_s = 0.0, sparse_step_s = 0.0;
@@ -102,8 +123,61 @@ struct BackendPoint {
   }
 };
 
+/// The 100k-node sparse-only measurement (no dense counterpart exists
+/// at this size — that is the point).
+struct LargeModelPoint {
+  std::size_t grid_side = 0, nodes = 0;
+  std::size_t fill_natural = 0, fill_ordered = 0;
+  double assembly_s = 0.0;     ///< GridThermalModel build (Builder -> CSR)
+  double cold_factor_s = 0.0;  ///< ordering + symbolic + numeric LDLᵗ
+  double solve_s = 0.0;        ///< one cached back-substitution
+  double rss_mb = 0.0;         ///< process peak RSS after the factor
+};
+
+LargeModelPoint measure_large(std::size_t grid_side) {
+  LargeModelPoint point;
+  point.grid_side = grid_side;
+
+  const floorplan::Floorplan die =
+      floorplan::make_grid_floorplan(4, 4, 0.016, 0.016);
+  using clock = std::chrono::steady_clock;
+  auto t0 = clock::now();
+  const thermal::GridThermalModel model(
+      die, thermal::PackageParams{},
+      thermal::GridOptions{grid_side, grid_side});
+  point.assembly_s = std::chrono::duration<double>(clock::now() - t0).count();
+  point.nodes = model.node_count();
+
+  const linalg::SparseMatrix& g = model.conductance();
+  point.fill_natural = linalg::symbolic_factor_nonzeros(g);
+
+  t0 = clock::now();
+  const linalg::SparseCholeskyFactor factor(g);  // kAuto -> min-degree here
+  point.cold_factor_s = std::chrono::duration<double>(clock::now() - t0).count();
+  point.fill_ordered = factor.factor_nonzeros();
+
+  const auto power = grid_power(die.size());
+  const thermal::GridSteadyResult reference =
+      model.solve(power, thermal::SolverBackend::kSparse);
+  point.solve_s = seconds_per_call(
+      [&] {
+        volatile double sink =
+            model.solve(power, thermal::SolverBackend::kSparse)
+                .cell_temperature[0];
+        (void)sink;
+      },
+      0.02, 5);
+  volatile double sink = reference.cell_temperature[0];
+  (void)sink;
+  thermal::ThermalSolverCache::instance().invalidate(model);
+  point.rss_mb = peak_rss_mb();
+  return point;
+}
+
 BackendPoint measure(std::size_t side) {
-  const thermal::RCModel model = make_grid_model(side);
+  const floorplan::Floorplan fp =
+      floorplan::make_grid_floorplan(side, side, 0.016, 0.016);
+  const thermal::RCModel model(fp, thermal::PackageParams{});
   const auto block_power = grid_power(model.block_count());
   const std::vector<double> power = model.expand_power(block_power);
   const auto initial = thermal::ambient_state(model);
@@ -114,6 +188,20 @@ BackendPoint measure(std::size_t side) {
   point.side = side;
   point.blocks = model.block_count();
   point.nodes = model.node_count();
+
+  // Sparse-first assembly: floorplan -> stamped Builder -> CSR.
+  point.assembly_s = seconds_per_call([&] {
+    const thermal::RCModel assembled(fp, thermal::PackageParams{});
+    volatile auto sink = assembled.conductance_sparse().nonzeros();
+    (void)sink;
+  });
+
+  // Symbolic fill with and without the fill-reducing ordering.
+  point.fill_natural =
+      linalg::symbolic_factor_nonzeros(model.conductance_sparse());
+  point.fill_ordered = linalg::symbolic_factor_nonzeros(
+      model.conductance_sparse(),
+      linalg::min_degree_ordering(model.conductance_sparse()));
 
   // Cold factor: what the first solve on a fresh model pays.
   point.dense_factor_s = seconds_per_call([&] {
@@ -194,24 +282,36 @@ BackendPoint measure(std::size_t side) {
 }
 
 void write_json(const std::string& path, const std::vector<BackendPoint>& points,
-                std::size_t measured_crossover) {
+                const LargeModelPoint& large, std::size_t measured_crossover) {
   std::ofstream out(path);
   if (!out) {
     throw std::runtime_error("cannot write " + path);
   }
   out.precision(6);
   out << "{\n";
-  out << "  \"schema\": \"thermo.bench_backend.v1\",\n";
+  out << "  \"schema\": \"thermo.bench_backend.v2\",\n";
   out << "  \"bench\": \"bench_backend\",\n";
   out << "  \"mode\": \"quick\",\n";
   out << "  \"auto_crossover_nodes\": " << thermal::kSparseBackendCrossover
       << ",\n";
   out << "  \"measured_crossover_nodes\": " << measured_crossover << ",\n";
+  out << "  \"peak_rss_mb\": " << peak_rss_mb() << ",\n";
+  out << "  \"large_model\": {\"grid_side\": " << large.grid_side
+      << ", \"nodes\": " << large.nodes
+      << ", \"fill_natural\": " << large.fill_natural
+      << ", \"fill_ordered\": " << large.fill_ordered
+      << ",\n    \"assembly_s\": " << large.assembly_s
+      << ", \"cold_factor_s\": " << large.cold_factor_s
+      << ", \"solve_s\": " << large.solve_s << ", \"rss_mb\": " << large.rss_mb
+      << "},\n";
   out << "  \"points\": [\n";
   for (std::size_t i = 0; i < points.size(); ++i) {
     const BackendPoint& p = points[i];
     out << "    {\"side\": " << p.side << ", \"blocks\": " << p.blocks
         << ", \"nodes\": " << p.nodes << ", \"factor_nnz\": " << p.factor_nnz
+        << ",\n     \"fill_natural\": " << p.fill_natural
+        << ", \"fill_ordered\": " << p.fill_ordered
+        << ", \"assembly_s\": " << p.assembly_s
         << ",\n     \"dense_factor_s\": " << p.dense_factor_s
         << ", \"sparse_factor_s\": " << p.sparse_factor_s
         << ", \"factor_speedup\": " << p.factor_speedup()
@@ -256,13 +356,24 @@ int main(int argc, char** argv) {
       points.push_back(measure(side));
       const BackendPoint& p = points.back();
       std::cout << "grid " << p.side << "x" << p.side << " (" << p.nodes
-                << " nodes, nnz(L) " << p.factor_nnz << "): factor "
-                << p.factor_speedup() << "x, solve " << p.solve_speedup()
-                << "x, step " << p.step_speedup() << "x, cold simulate "
+                << " nodes, fill " << p.fill_natural << " -> "
+                << p.fill_ordered << "): factor " << p.factor_speedup()
+                << "x, solve " << p.solve_speedup() << "x, step "
+                << p.step_speedup() << "x, cold simulate "
                 << p.cold_simulate_speedup() << "x, rel diff "
                 << std::max(p.steady_max_rel_diff, p.transient_max_rel_diff)
                 << "\n";
     }
+
+    // The 100k-node section: 317x317 cells + 10 package nodes.
+    const LargeModelPoint large = measure_large(317);
+    std::cout << "large model " << large.grid_side << "x" << large.grid_side
+              << " (" << large.nodes << " nodes): assembly "
+              << large.assembly_s << " s, cold ordered factor "
+              << large.cold_factor_s << " s, solve " << large.solve_s
+              << " s, fill " << large.fill_natural << " -> "
+              << large.fill_ordered << ", peak RSS " << large.rss_mb
+              << " MB\n";
 
     // Smallest benchmarked size at which the sparse backend wins the
     // cold-factor-plus-simulate metric — what kAuto's constant encodes.
@@ -273,7 +384,7 @@ int main(int argc, char** argv) {
         break;
       }
     }
-    write_json(json_path, points, measured_crossover);
+    write_json(json_path, points, large, measured_crossover);
     std::cout << "wrote " << json_path << "\n";
 
     // Hard gates (CI + smoke.bench_backend): agreement within the
@@ -297,6 +408,29 @@ int main(int argc, char** argv) {
       std::cerr << "bench_backend: sparse cold simulate only "
                 << largest.cold_simulate_speedup() << "x at " << largest.nodes
                 << " nodes (need >= 5x)\n";
+      return 1;
+    }
+    // Ordering gates: the fill-reducing permutation must strictly beat
+    // natural order where it is active (kOrderingAutoMinNodes and up).
+    if (largest.fill_ordered >= largest.fill_natural) {
+      std::cerr << "bench_backend: ordered fill " << largest.fill_ordered
+                << " not below natural fill " << largest.fill_natural
+                << " at " << largest.nodes << " nodes\n";
+      return 1;
+    }
+    if (large.fill_ordered >= large.fill_natural) {
+      std::cerr << "bench_backend: ordered fill " << large.fill_ordered
+                << " not below natural fill " << large.fill_natural
+                << " at the " << large.nodes << "-node model\n";
+      return 1;
+    }
+    // Memory gate: the 100k factor must complete far below what the
+    // dense backend would need (~80 GB for the factor alone).
+    constexpr double kMaxPeakRssMb = 4096.0;
+    if (large.rss_mb <= 0.0 || large.rss_mb > kMaxPeakRssMb) {
+      std::cerr << "bench_backend: peak RSS " << large.rss_mb
+                << " MB outside (0, " << kMaxPeakRssMb << "] at "
+                << large.nodes << " nodes\n";
       return 1;
     }
     return 0;

@@ -1,0 +1,72 @@
+# 100k-node grid serve smoke: one grid_steady request discretising the
+# fig1 SoC at 317x317 cells (100,489 + 10 package = 100,499 thermal
+# nodes — past the 100k mark where the dense backend is infeasible)
+# must (a) run end to end through `thermosched serve` on the sparse
+# backend's fill-ordered factor, (b) produce byte-identical results for
+# 1 and 4 worker threads, and (c) answer ok:true.
+#
+# The batch carries the big request twice under different ids plus a
+# small 64x64 warm-up, so it also exercises the runner's shared grid
+# model cache (one 100k assembly + factorization, not two) across
+# worker threads.
+#
+# Usage: cmake -DSERVE_BIN=<thermosched> -DWORK_DIR=<scratch dir>
+#              -P Run100kServeSmoke.cmake
+if(NOT SERVE_BIN OR NOT WORK_DIR)
+  message(FATAL_ERROR "SERVE_BIN and WORK_DIR must be set")
+endif()
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(requests "${WORK_DIR}/requests_100k.jsonl")
+set(out1 "${WORK_DIR}/results_100k_t1.jsonl")
+set(outN "${WORK_DIR}/results_100k_t4.jsonl")
+
+file(WRITE "${requests}"
+  "{\"id\":\"grid-warmup-64\",\"kind\":\"grid_steady\",\"soc\":{\"kind\":\"fig1\"},\"grid\":{\"rows\":64,\"cols\":64}}\n"
+  "{\"id\":\"grid-100k-a\",\"kind\":\"grid_steady\",\"soc\":{\"kind\":\"fig1\"},\"grid\":{\"rows\":317,\"cols\":317},\"solver\":{\"backend\":\"sparse\"}}\n"
+  "{\"id\":\"grid-100k-b\",\"kind\":\"grid_steady\",\"soc\":{\"kind\":\"fig1\"},\"grid\":{\"rows\":317,\"cols\":317},\"solver\":{\"backend\":\"sparse\"}}\n")
+
+foreach(pair "1;${out1}" "4;${outN}")
+  list(GET pair 0 threads)
+  list(GET pair 1 outfile)
+  execute_process(
+    COMMAND "${SERVE_BIN}" serve --in "${requests}" --out "${outfile}"
+            --threads ${threads}
+    OUTPUT_VARIABLE serve_out
+    ERROR_VARIABLE serve_err
+    RESULT_VARIABLE serve_rc)
+  if(NOT serve_rc EQUAL 0)
+    message(FATAL_ERROR
+      "serve --threads ${threads} exited with ${serve_rc}\n${serve_err}")
+  endif()
+endforeach()
+
+file(READ "${out1}" results_1)
+file(READ "${outN}" results_n)
+if(results_1 STREQUAL "")
+  message(FATAL_ERROR "100k serve smoke produced an empty results file")
+endif()
+if(NOT results_1 STREQUAL results_n)
+  message(FATAL_ERROR
+    "grid_steady serve output differs between --threads 1 and "
+    "--threads 4 (${out1} vs ${outN}) — the 100k path lost determinism")
+endif()
+string(REGEX MATCHALL "\n" newlines "${results_1}")
+list(LENGTH newlines line_count)
+if(NOT line_count EQUAL 3)
+  message(FATAL_ERROR "expected 3 result records, got ${line_count}")
+endif()
+string(REGEX MATCHALL "\"ok\":true" oks "${results_1}")
+list(LENGTH oks ok_count)
+if(NOT ok_count EQUAL 3)
+  message(FATAL_ERROR
+    "expected 3 ok:true records, got ${ok_count}:\n${results_1}")
+endif()
+string(REGEX MATCHALL "\"nodes\":100499" big_nodes "${results_1}")
+list(LENGTH big_nodes big_count)
+if(NOT big_count EQUAL 2)
+  message(FATAL_ERROR
+    "expected 2 records with nodes:100499, got ${big_count}:\n${results_1}")
+endif()
+message(STATUS
+  "100k serve smoke OK: 2 x 100499-node grid_steady requests, "
+  "1-vs-4-thread results identical")

@@ -28,10 +28,15 @@ std::array<double, CostCalibrator::kDimensions> regressors(
   const double points =
       static_cast<double>(std::max<std::size_t>(features.stcl_points, 1));
   const double work = points * calls;
+  // Same nnz rule as CostModel::estimate: supplied post-ordering fill,
+  // else the predicted_factor_nnz(n) mesh model.
+  const double nnz = features.solve_nnz > 0.0
+                         ? features.solve_nnz
+                         : predicted_factor_nnz(features.nodes);
   std::array<double, CostCalibrator::kDimensions> x{};
   x[0] = 1.0;                                               // per_request
   x[1] = features.sparse ? 0.0 : work * solves_per_call * n * n;  // dense
-  x[2] = features.sparse ? work * solves_per_call * n : 0.0;      // sparse
+  x[2] = features.sparse ? work * solves_per_call * nnz : 0.0;    // sparse
   x[3] = work;                                              // per-call
   return x;
 }
@@ -140,7 +145,7 @@ std::optional<CostConstants> CostCalibrator::fit() const {
   CostConstants fitted = fallback_;  // validations_per_core carries over
   fitted.per_request = std::max(scale[0] * c[0], kCoefficientFloor);
   fitted.dense_ops_per_node_sq = std::max(scale[1] * c[1], kCoefficientFloor);
-  fitted.sparse_ops_per_node = std::max(scale[2] * c[2], kCoefficientFloor);
+  fitted.sparse_ops_per_nnz = std::max(scale[2] * c[2], kCoefficientFloor);
   fitted.per_call_overhead = std::max(scale[3] * c[3], kCoefficientFloor);
   return fitted;
 }
@@ -154,7 +159,10 @@ CostConstants CostCalibrator::constants() const {
 
 std::string CostCalibrator::serialize() const {
   JsonValue out = JsonValue::object();
-  out.set("schema", JsonValue::string("thermo.calibration.v1"));
+  // v2: the sparse regressor changed from c·n to nnz(L) (post-ordering
+  // fill) — v1 sufficient statistics would fit the wrong column, so old
+  // blobs are discarded at deserialize and the server re-warms.
+  out.set("schema", JsonValue::string("thermo.calibration.v2"));
   out.set("samples", JsonValue::number(static_cast<double>(samples_)));
   JsonValue xtx = JsonValue::array();
   for (std::size_t i = 0; i < kDimensions; ++i) {
@@ -182,7 +190,7 @@ std::optional<CostCalibrator> CostCalibrator::deserialize(
   if (!parsed.is_object() || parsed.size() != 4) return std::nullopt;
   const JsonValue* schema = parsed.find("schema");
   if (schema == nullptr || !schema->is_string() ||
-      schema->as_string() != "thermo.calibration.v1") {
+      schema->as_string() != "thermo.calibration.v2") {
     return std::nullopt;
   }
   const auto samples = finite_number(parsed.find("samples"));

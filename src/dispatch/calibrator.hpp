@@ -11,9 +11,12 @@
 // rank-deficient by construction):
 //
 //   seconds ≈ per_request · 1
-//           + dense_ops_per_node_sq · [points·calls·solves/call·n²]   (dense)
-//           + sparse_ops_per_node   · [points·calls·solves/call·n ]   (sparse)
+//           + dense_ops_per_node_sq · [points·calls·solves/call·n²  ]  (dense)
+//           + sparse_ops_per_nnz    · [points·calls·solves/call·nnz ]  (sparse)
 //           + per_call_overhead     · [points·calls]
+//
+// where nnz is the post-ordering factor fill (solve_nnz, else
+// predicted_factor_nnz(n)) — the same rule CostModel::estimate applies.
 //
 // Only the O(1) sufficient statistics XᵀX (4×4) and Xᵀy (4) are kept —
 // a million observed jobs cost the same 21 doubles as ten — and the fit
@@ -30,7 +33,7 @@
 // what is written (tests/dispatch_calibrator_test.cpp pins both).
 //
 // State round-trips through serialize()/deserialize() as a
-// "thermo.calibration.v1" JSON payload (shortest round-trip numbers, so
+// "thermo.calibration.v2" JSON payload (shortest round-trip numbers, so
 // the trip is exact); `thermosched serve --cache-dir` persists it next
 // to the disk cache via persist::write_blob_file so a restarted process
 // starts warm. deserialize returns nullopt — never throws — on any
@@ -51,7 +54,7 @@ namespace thermo::dispatch {
 class CostCalibrator {
  public:
   /// Fitted coefficients: per_request, dense_ops_per_node_sq,
-  /// sparse_ops_per_node, per_call_overhead.
+  /// sparse_ops_per_nnz, per_call_overhead.
   static constexpr std::size_t kDimensions = 4;
   /// Observations required before ready() can become true: below this a
   /// 4-parameter fit would chase noise, so constants() stays at the
@@ -92,7 +95,7 @@ class CostCalibrator {
   /// A CostModel over constants() — what serve scores jobs with.
   CostModel model() const { return CostModel(constants()); }
 
-  /// Exact-round-trip JSON state ("thermo.calibration.v1").
+  /// Exact-round-trip JSON state ("thermo.calibration.v2").
   std::string serialize() const;
 
   /// Inverse of serialize(). Returns nullopt — never throws — on

@@ -1,13 +1,22 @@
 #include "dispatch/cost_model.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 namespace thermo::dispatch {
 
+double predicted_factor_nnz(std::size_t nodes) {
+  const double n = static_cast<double>(std::max<std::size_t>(nodes, 1));
+  return n * (4.0 + std::log2(n));
+}
+
 double CostModel::estimate(const CostFeatures& features) const {
   const double n = static_cast<double>(std::max<std::size_t>(features.nodes, 1));
+  const double nnz = features.solve_nnz > 0.0
+                         ? features.solve_nnz
+                         : predicted_factor_nnz(features.nodes);
   const double solve_ops =
-      features.sparse ? constants_.sparse_ops_per_node * n
+      features.sparse ? constants_.sparse_ops_per_nnz * nnz
                       : constants_.dense_ops_per_node_sq * n * n;
   const double solves_per_call =
       features.transient ? std::max(1.0, features.steps_per_call) : 1.0;

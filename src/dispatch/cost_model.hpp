@@ -7,7 +7,9 @@
 // with oracle validations; each validation is either one steady-state
 // back-substitution or `steps` backward-Euler back-substitutions; each
 // back-substitution touches n² matrix entries on the dense backend and
-// ~nnz(L) ≈ c·n on the sparse one (docs/SOLVERS.md). The model simply
+// nnz(L) factor entries on the sparse one — the *post-ordering* fill,
+// supplied directly (solve_nnz) or predicted from n
+// (predicted_factor_nnz; docs/SOLVERS.md "Ordering"). The model simply
 // multiplies those factors out:
 //
 //   cost ≈ stcl_points · validations(cores) · solves_per_validation
@@ -41,7 +43,20 @@ struct CostFeatures {
   /// trace step). 0 (default) keeps the Algorithm 1 estimate of
   /// validations_per_core * cores.
   double oracle_calls = 0.0;
+  /// Non-zeros of the post-ordering sparse factor L, when known (e.g.
+  /// from an already-factored model). 0 (default) falls back to
+  /// predicted_factor_nnz(nodes). Ignored on the dense backend.
+  double solve_nnz = 0.0;
 };
+
+/// Predicted nnz(L) of a fill-ordered sparse factor of an n-node
+/// thermal model: ≈ n·(4 + log2 n). RC lattices keep ~4 off-diagonal
+/// couplings per node, and min-degree ordering holds fill growth to
+/// roughly a log factor on 2-D meshes (measured: a 64×64 grid factors
+/// at ~15·n, a 317×317 at ~20·n — see BENCH_backend.json fill columns).
+/// Replaces the old flat c·n guess, which under-ranked 100k-node grid
+/// requests against small transient sweeps.
+double predicted_factor_nnz(std::size_t nodes);
 
 /// Calibrated constants (relative units). Defaults were fitted against
 /// BENCH_dispatch.json measurements on the skewed demo batch; override
@@ -49,8 +64,10 @@ struct CostFeatures {
 struct CostConstants {
   /// Ops per back-substitution: dense touches all n² factor entries...
   double dense_ops_per_node_sq = 1.0;
-  /// ...sparse touches ~nnz(L) ≈ this·n (lattice + package fill).
-  double sparse_ops_per_node = 24.0;
+  /// ...sparse touches every factor non-zero; the nnz itself comes from
+  /// solve_nnz or predicted_factor_nnz, so this constant is per-entry.
+  /// (Replaces the pre-ordering sparse_ops_per_node = 24·n guess.)
+  double sparse_ops_per_nnz = 1.0;
   /// Oracle validations per scheduled core (committed sessions plus the
   /// discard/re-try churn of Algorithm 1's weighting loop).
   double validations_per_core = 2.0;

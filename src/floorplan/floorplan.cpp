@@ -49,7 +49,7 @@ void Floorplan::compute_cache() const {
   if (cache_valid_) return;
   const std::size_t n = blocks_.size();
   adjacencies_.clear();
-  shared_.assign(n, std::vector<double>(n, 0.0));
+  adj_.assign(n, {});
   boundary_.assign(n, {0.0, 0.0, 0.0, 0.0});
 
   if (n == 0) {
@@ -91,8 +91,10 @@ void Floorplan::compute_cache() const {
       }
       if (length > kGeomTol) {
         adjacencies_.push_back(Adjacency{i, j, length, side});
-        shared_[i][j] = length;
-        shared_[j][i] = length;
+        // The (i, j) loop order visits each list's entries in strictly
+        // increasing neighbour index, so the lists come out sorted.
+        adj_[i].emplace_back(j, length);
+        adj_[j].emplace_back(i, length);
       }
     }
   }
@@ -139,7 +141,13 @@ double Floorplan::shared_edge(std::size_t i, std::size_t j) const {
   THERMO_REQUIRE(i < blocks_.size() && j < blocks_.size(),
                  "shared_edge: index out of range");
   compute_cache();
-  return shared_[i][j];
+  const auto& edges = adj_[i];
+  const auto it = std::lower_bound(
+      edges.begin(), edges.end(), j,
+      [](const std::pair<std::size_t, double>& e, std::size_t key) {
+        return e.first < key;
+      });
+  return it != edges.end() && it->first == j ? it->second : 0.0;
 }
 
 bool Floorplan::are_adjacent(std::size_t i, std::size_t j) const {
@@ -150,10 +158,16 @@ std::vector<std::size_t> Floorplan::neighbours(std::size_t i) const {
   THERMO_REQUIRE(i < blocks_.size(), "neighbours: index out of range");
   compute_cache();
   std::vector<std::size_t> out;
-  for (std::size_t j = 0; j < blocks_.size(); ++j) {
-    if (j != i && shared_[i][j] > kGeomTol) out.push_back(j);
-  }
+  out.reserve(adj_[i].size());
+  for (const auto& [j, length] : adj_[i]) out.push_back(j);
   return out;
+}
+
+const std::vector<std::pair<std::size_t, double>>& Floorplan::neighbour_edges(
+    std::size_t i) const {
+  THERMO_REQUIRE(i < blocks_.size(), "neighbour_edges: index out of range");
+  compute_cache();
+  return adj_[i];
 }
 
 double Floorplan::boundary_exposure(std::size_t i, Side side) const {

@@ -9,6 +9,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "floorplan/block.hpp"
@@ -71,8 +72,14 @@ class Floorplan {
   /// True when the blocks abut with positive shared edge length.
   bool are_adjacent(std::size_t i, std::size_t j) const;
 
-  /// Indices of blocks adjacent to `i`.
+  /// Indices of blocks adjacent to `i`, in increasing index order.
   std::vector<std::size_t> neighbours(std::size_t i) const;
+
+  /// (neighbour index, shared edge length) pairs for block `i`, sorted
+  /// by neighbour index — the O(degree) view model assembly iterates
+  /// instead of scanning a dense row.
+  const std::vector<std::pair<std::size_t, double>>& neighbour_edges(
+      std::size_t i) const;
 
   /// Length of block i's perimeter lying on the chip bounding box,
   /// per side. (A block in the interior returns 0 everywhere.)
@@ -99,7 +106,10 @@ class Floorplan {
   // lazily computed
   mutable bool cache_valid_ = false;
   mutable std::vector<Adjacency> adjacencies_;
-  mutable std::vector<std::vector<double>> shared_;  // dense n x n
+  /// Per-block (neighbour, shared length) lists, sorted by neighbour.
+  /// O(nnz) storage where the old dense n×n shared-edge matrix was
+  /// O(n²) — the memory wall that capped synthetic floorplan sizes.
+  mutable std::vector<std::vector<std::pair<std::size_t, double>>> adj_;
   mutable double min_x_ = 0.0, min_y_ = 0.0, max_x_ = 0.0, max_y_ = 0.0;
   mutable std::vector<std::array<double, 4>> boundary_;  // N,S,E,W per block
 };

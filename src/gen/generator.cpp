@@ -184,6 +184,23 @@ ScenarioRequest make_chained(Rng& rng) {
   return r;
 }
 
+/// One fine-grid steady request: a named SoC discretised at one of a
+/// few ladder resolutions. 64..160 per side keeps a generated stream's
+/// grid slice heavy (4k..26k nodes, always the sparse backend) without
+/// turning every stream into a 100k-node soak — that scale has its own
+/// dedicated smoke (cmake/Run100kServeSmoke.cmake).
+ScenarioRequest make_grid(Rng& rng) {
+  ScenarioRequest r;
+  r.kind = RequestKind::kGridSteady;
+  r.soc.kind = rng.chance(0.5) ? SocKind::kAlpha : SocKind::kFig1;
+  const std::size_t sides[] = {64, 96, 128, 160};
+  const std::size_t side = sides[rng.uniform_index(4)];
+  r.grid.rows = side;
+  r.grid.cols = side;
+  r.soc.power_scale = 1.0 + 0.001 * static_cast<double>(rng.uniform_int(0, 99));
+  return r;
+}
+
 /// Applies the arrival-order pattern in place (lines/costs permuted
 /// together). Sorts are stable on the pre-permutation index, so order is
 /// a pure function of the generated costs.
@@ -273,12 +290,12 @@ void GenConfig::validate() const {
   }
   for (const auto& [weight, name] :
        {std::pair{mix.sweep, "mix.sweep"}, {mix.ptrace, "mix.ptrace"},
-        {mix.chained, "mix.chained"}}) {
+        {mix.chained, "mix.chained"}, {mix.grid, "mix.grid"}}) {
     if (!std::isfinite(weight) || weight < 0.0) {
       fail(name, "must be finite and >= 0");
     }
   }
-  if (mix.sweep + mix.ptrace + mix.chained <= 0.0) {
+  if (mix.sweep + mix.ptrace + mix.chained + mix.grid <= 0.0) {
     fail("mix", "at least one kind weight must be > 0");
   }
   if (core_ladder.empty()) fail("core_ladder", "must not be empty");
@@ -294,9 +311,10 @@ GeneratedStream generate_stream(const GenConfig& config) {
   const std::vector<double> ladder_cdf =
       zipf_cdf(config.core_ladder.size(), config.zipf_skew);
   const double mix_total = config.mix.sweep + config.mix.ptrace +
-                           config.mix.chained;
+                           config.mix.chained + config.mix.grid;
   const double sweep_cut = config.mix.sweep / mix_total;
   const double ptrace_cut = sweep_cut + config.mix.ptrace / mix_total;
+  const double chained_cut = ptrace_cut + config.mix.chained / mix_total;
 
   std::map<std::string, core::SocSpec> socs;
   GeneratedStream stream;
@@ -326,8 +344,10 @@ GeneratedStream generate_stream(const GenConfig& config) {
       request = make_sweep(rng, config.core_ladder[sample_cdf(rng, ladder_cdf)]);
     } else if (kind_draw < ptrace_cut) {
       request = make_ptrace(rng, socs);
-    } else {
+    } else if (kind_draw < chained_cut || config.mix.grid <= 0.0) {
       request = make_chained(rng);
+    } else {
+      request = make_grid(rng);
     }
     // The outer rate check short-circuits: a deadline_rate of 0 draws
     // NOTHING, so streams from configs predating the knob stay
@@ -352,6 +372,7 @@ GeneratedStream generate_stream(const GenConfig& config) {
       case RequestKind::kStclSweep: ++stream.stats.sweep; break;
       case RequestKind::kPtrace: ++stream.stats.ptrace; break;
       case RequestKind::kChained: ++stream.stats.chained; break;
+      case RequestKind::kGridSteady: ++stream.stats.grid; break;
     }
   }
   for (const char flag : deadlined) {

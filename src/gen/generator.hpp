@@ -54,6 +54,11 @@ struct KindMix {
   double sweep = 0.7;    ///< kind "stcl_sweep"
   double ptrace = 0.15;  ///< kind "ptrace" (power-trace replay)
   double chained = 0.15; ///< kind "chained" (chained-session validation)
+  /// kind "grid_steady" (fine-grid steady solve). Default 0: a grid
+  /// request is orders of magnitude heavier than the rest of the mix,
+  /// so streams opt in explicitly — and the 0 weight draws nothing,
+  /// keeping pre-knob streams byte-identical (the gen_test golden).
+  double grid = 0.0;
 };
 
 /// The deadline values --deadline-rate draws from, machine-independent
@@ -112,6 +117,7 @@ struct GenStats {
   std::size_t sweep = 0;
   std::size_t ptrace = 0;
   std::size_t chained = 0;
+  std::size_t grid = 0;
   std::size_t deadlined = 0;   ///< lines carrying a deadline_s (dups included)
 };
 

@@ -1,0 +1,168 @@
+#include "linalg/ordering.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace thermo::linalg {
+
+namespace {
+constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+}  // namespace
+
+std::vector<std::size_t> min_degree_ordering(const SparseMatrix& a) {
+  THERMO_REQUIRE(a.rows() == a.cols(), "min degree: matrix must be square");
+  const std::size_t n = a.rows();
+  std::vector<std::size_t> perm;
+  perm.reserve(n);
+  if (n == 0) return perm;
+
+  const std::vector<std::size_t>& ap = a.row_offsets();
+  const std::vector<std::size_t>& ai = a.col_indices();
+
+  // Off-diagonal adjacency; lists stay sorted throughout (CSR columns
+  // are already sorted, and elimination updates merge in order).
+  std::vector<std::vector<std::size_t>> adj(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    adj[r].reserve(ap[r + 1] - ap[r]);
+    for (std::size_t q = ap[r]; q < ap[r + 1]; ++q) {
+      if (ai[q] != r) adj[r].push_back(ai[q]);
+    }
+  }
+
+  // Withhold near-dense rows (package nodes coupled to every die
+  // block): they go to the END of the ordering, sorted by (initial
+  // degree, index), and are stripped from the active graph so every
+  // elimination union stays proportional to local clique size.
+  const std::size_t threshold = std::max<std::size_t>(
+      16, 4 * static_cast<std::size_t>(
+                  std::sqrt(static_cast<double>(n))));
+  std::vector<char> withheld(n, 0);
+  std::vector<std::pair<std::size_t, std::size_t>> dense_rows;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (adj[i].size() > threshold) {
+      withheld[i] = 1;
+      dense_rows.emplace_back(adj[i].size(), i);
+    }
+  }
+  if (!dense_rows.empty()) {
+    std::sort(dense_rows.begin(), dense_rows.end());
+    for (std::size_t i = 0; i < n; ++i) {
+      if (withheld[i]) {
+        adj[i].clear();
+        continue;
+      }
+      std::vector<std::size_t>& list = adj[i];
+      list.erase(std::remove_if(
+                     list.begin(), list.end(),
+                     [&](std::size_t w) { return withheld[w] != 0; }),
+                 list.end());
+    }
+  }
+
+  // Pending nodes keyed by (current degree, index): begin() is always
+  // the unique minimum-degree, minimum-index node, so the ordering is
+  // deterministic.
+  std::vector<std::size_t> degree(n, 0);
+  std::set<std::pair<std::size_t, std::size_t>> queue;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (withheld[i]) continue;
+    degree[i] = adj[i].size();
+    queue.emplace(degree[i], i);
+  }
+
+  std::vector<std::size_t> clique;
+  std::vector<std::size_t> merged;
+  while (!queue.empty()) {
+    const std::size_t v = queue.begin()->second;
+    queue.erase(queue.begin());
+    perm.push_back(v);
+
+    clique = std::move(adj[v]);
+    adj[v].clear();
+    adj[v].shrink_to_fit();
+
+    // Drop v from each neighbour, then union the elimination clique
+    // into each neighbour's list (sorted merge).
+    for (std::size_t w : clique) {
+      std::vector<std::size_t>& list = adj[w];
+      const auto it = std::lower_bound(list.begin(), list.end(), v);
+      if (it != list.end() && *it == v) list.erase(it);
+    }
+    for (std::size_t w : clique) {
+      std::vector<std::size_t>& list = adj[w];
+      merged.clear();
+      merged.reserve(list.size() + clique.size());
+      std::size_t li = 0;
+      for (std::size_t u : clique) {
+        if (u == w) continue;
+        while (li < list.size() && list[li] < u) merged.push_back(list[li++]);
+        if (li < list.size() && list[li] == u) ++li;
+        merged.push_back(u);
+      }
+      while (li < list.size()) merged.push_back(list[li++]);
+      list.swap(merged);
+      if (list.size() != degree[w]) {
+        queue.erase({degree[w], w});
+        degree[w] = list.size();
+        queue.emplace(degree[w], w);
+      }
+    }
+  }
+
+  for (const std::pair<std::size_t, std::size_t>& entry : dense_rows) {
+    perm.push_back(entry.second);
+  }
+  return perm;
+}
+
+std::size_t symbolic_factor_nonzeros(const SparseMatrix& a,
+                                     const std::vector<std::size_t>& perm) {
+  THERMO_REQUIRE(a.rows() == a.cols(),
+                 "symbolic factor: matrix must be square");
+  const std::size_t n = a.rows();
+  if (n == 0) return 0;
+  const std::vector<std::size_t>& ap = a.row_offsets();
+  const std::vector<std::size_t>& ai = a.col_indices();
+
+  std::vector<std::size_t> inv;
+  if (!perm.empty()) {
+    THERMO_REQUIRE(perm.size() == n,
+                   "symbolic factor: permutation size mismatch");
+    inv.assign(n, kNone);
+    for (std::size_t k = 0; k < n; ++k) {
+      THERMO_REQUIRE(perm[k] < n && inv[perm[k]] == kNone,
+                     "symbolic factor: not a permutation");
+      inv[perm[k]] = k;
+    }
+  }
+
+  // Elimination-tree column counts — the same walk as the symbolic
+  // pass in SparseCholeskyFactor, summed instead of stored. Reading
+  // the whole row of A and keeping entries that land strictly below
+  // the diagonal AFTER permutation needs pattern symmetry, which
+  // stamped conductance matrices provide by construction.
+  std::vector<std::size_t> parent(n, kNone);
+  std::vector<std::size_t> flag(n, kNone);
+  std::size_t nnz = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t row = perm.empty() ? k : perm[k];
+    flag[k] = k;
+    for (std::size_t q = ap[row]; q < ap[row + 1]; ++q) {
+      std::size_t i = perm.empty() ? ai[q] : inv[ai[q]];
+      if (i >= k) continue;
+      for (; flag[i] != k; i = parent[i]) {
+        if (parent[i] == kNone) parent[i] = k;
+        ++nnz;
+        flag[i] = k;
+      }
+    }
+  }
+  return nnz;
+}
+
+}  // namespace thermo::linalg

@@ -1,6 +1,7 @@
 #include "linalg/sparse.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <numeric>
 
@@ -10,6 +11,12 @@ namespace thermo::linalg {
 
 SparseMatrix::Builder::Builder(std::size_t rows, std::size_t cols)
     : rows_(rows), cols_(cols) {}
+
+void SparseMatrix::Builder::reserve(std::size_t entries) {
+  coo_rows_.reserve(entries);
+  coo_cols_.reserve(entries);
+  coo_values_.reserve(entries);
+}
 
 void SparseMatrix::Builder::add(std::size_t row, std::size_t col, double value) {
   THERMO_REQUIRE(row < rows_ && col < cols_, "sparse add: index out of range");
@@ -23,12 +30,18 @@ SparseMatrix SparseMatrix::Builder::build() const {
   m.rows_ = rows_;
   m.cols_ = cols_;
 
-  // Sort COO triplets by (row, col) via an index permutation.
+  // Sort COO triplets by (row, col) via an index permutation. The
+  // insertion-index tie-break makes the sort stable, so duplicate
+  // stamps at one (row, col) are summed in the exact order add() saw
+  // them — assembly through the builder is bit-identical to summing
+  // the same stamps into a dense accumulator, which keeps golden
+  // serve records byte-stable when models assemble sparse-first.
   std::vector<std::size_t> order(coo_rows_.size());
   std::iota(order.begin(), order.end(), 0);
   std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
     if (coo_rows_[a] != coo_rows_[b]) return coo_rows_[a] < coo_rows_[b];
-    return coo_cols_[a] < coo_cols_[b];
+    if (coo_cols_[a] != coo_cols_[b]) return coo_cols_[a] < coo_cols_[b];
+    return a < b;
   });
 
   m.row_offsets_.assign(rows_ + 1, 0);
@@ -55,6 +68,11 @@ SparseMatrix SparseMatrix::Builder::build() const {
 }
 
 SparseMatrix SparseMatrix::from_dense(const DenseMatrix& dense, double drop_tol) {
+  // Test/interop convenience only: scanning n² entries defeats the
+  // sparse-first assembly path. Hot paths stamp through Builder; the
+  // debug assertion catches any large-n caller that densifies.
+  assert(dense.rows() * dense.cols() <= std::size_t{4096} * 4096 &&
+         "from_dense on a large matrix: hot paths must assemble via Builder");
   Builder builder(dense.rows(), dense.cols());
   for (std::size_t r = 0; r < dense.rows(); ++r) {
     for (std::size_t c = 0; c < dense.cols(); ++c) {

@@ -18,9 +18,14 @@ class SparseMatrix {
 
   /// Incremental COO builder; duplicate (row, col) entries are summed
   /// when the CSR matrix is built (natural for stamping conductances).
+  /// Duplicates are merged in insertion order (the sort is stable), so
+  /// a builder-assembled matrix is bit-identical to accumulating the
+  /// same stamps into a dense matrix and converting.
   class Builder {
    public:
     Builder(std::size_t rows, std::size_t cols);
+    /// Pre-allocates triplet storage for `entries` add() calls.
+    void reserve(std::size_t entries);
     /// Adds `value` at (row, col).
     void add(std::size_t row, std::size_t col, double value);
     SparseMatrix build() const;

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "linalg/ordering.hpp"
 #include "util/error.hpp"
 
 namespace thermo::linalg {
@@ -11,9 +12,38 @@ namespace {
 constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
 }  // namespace
 
-SparseCholeskyFactor::SparseCholeskyFactor(const SparseMatrix& a) {
+SparseCholeskyFactor::SparseCholeskyFactor(const SparseMatrix& a,
+                                           Ordering ordering)
+    : ordering_(ordering) {
   THERMO_REQUIRE(a.rows() == a.cols(), "sparse cholesky: matrix must be square");
   n_ = a.rows();
+  if (ordering_ == Ordering::kAuto) {
+    ordering_ = n_ >= kOrderingAutoMinNodes ? Ordering::kMinDegree
+                                            : Ordering::kNatural;
+  }
+  if (ordering_ == Ordering::kMinDegree && n_ > 1) {
+    perm_ = min_degree_ordering(a);
+    inv_perm_.assign(n_, 0);
+    for (std::size_t k = 0; k < n_; ++k) inv_perm_[perm_[k]] = k;
+    // Assemble P·A·Pᵗ through the builder (A carries both triangles,
+    // so the permuted matrix does too; no duplicates arise).
+    SparseMatrix::Builder builder(n_, n_);
+    builder.reserve(a.nonzeros());
+    const std::vector<std::size_t>& ap = a.row_offsets();
+    const std::vector<std::size_t>& ai = a.col_indices();
+    const std::vector<double>& ax = a.values();
+    for (std::size_t r = 0; r < n_; ++r) {
+      for (std::size_t q = ap[r]; q < ap[r + 1]; ++q) {
+        builder.add(inv_perm_[r], inv_perm_[ai[q]], ax[q]);
+      }
+    }
+    factorize(builder.build());
+  } else {
+    factorize(a);
+  }
+}
+
+void SparseCholeskyFactor::factorize(const SparseMatrix& a) {
   const std::vector<std::size_t>& ap = a.row_offsets();
   const std::vector<std::size_t>& ai = a.col_indices();
   const std::vector<double>& ax = a.values();
@@ -98,7 +128,21 @@ SparseCholeskyFactor::SparseCholeskyFactor(const SparseMatrix& a) {
 
 Vector SparseCholeskyFactor::solve(const Vector& b) const {
   THERMO_REQUIRE(b.size() == n_, "sparse cholesky solve: size mismatch");
-  Vector x = b;
+  if (perm_.empty()) {
+    Vector x = b;
+    solve_in_place(x);
+    return x;
+  }
+  // Permute into factor order, substitute, permute back.
+  Vector px(n_);
+  for (std::size_t k = 0; k < n_; ++k) px[k] = b[perm_[k]];
+  solve_in_place(px);
+  Vector x(n_);
+  for (std::size_t k = 0; k < n_; ++k) x[perm_[k]] = px[k];
+  return x;
+}
+
+void SparseCholeskyFactor::solve_in_place(Vector& x) const {
   // L z = b (unit diagonal implicit).
   for (std::size_t j = 0; j < n_; ++j) {
     const double xj = x[j];
@@ -116,7 +160,6 @@ Vector SparseCholeskyFactor::solve(const Vector& b) const {
     }
     x[j] = sum;
   }
-  return x;
 }
 
 SparseImplicitStepper::SparseImplicitStepper(const SparseMatrix& g,

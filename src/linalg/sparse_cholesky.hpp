@@ -3,14 +3,15 @@
 // cholesky.hpp.
 //
 // Thermal conductance matrices have ~5 off-diagonals per die row plus a
-// handful of package rows that touch every die block. Because the
-// package nodes are numbered LAST (see thermal/rc_model.hpp), natural
-// ordering keeps their fill confined to the trailing rows of L: the die
-// lattice factors with bandwidth-bounded fill and the ten package
-// columns stay dense, so nnz(L) grows like n·(bandwidth + 10) instead
-// of n²/2. No fill-reducing ordering is applied (an AMD pass is a
-// ROADMAP item); the node numbering the thermal layer produces is
-// already the good case.
+// handful of package rows that touch every die block. By default the
+// factor applies a fill-reducing minimum-degree permutation
+// (linalg/ordering.hpp) before the symbolic pass: the factorization
+// runs on P·A·Pᵗ internally while solve() accepts and returns vectors
+// in the ORIGINAL node order, so callers never see the permutation.
+// factor_nonzeros() reports post-ordering fill. On a 64×64 grid model
+// the ordering cuts nnz(L) from ~260k (natural, bandwidth-bound) to
+// ~80k; on banded thermal numberings it never loses by much, and
+// Ordering::kNatural remains available for baselines and tests.
 //
 // Preconditions and cost (docs/SOLVERS.md "Choosing a backend"):
 //  * the input must be symmetric positive definite. Symmetry is NOT
@@ -39,25 +40,59 @@
 
 namespace thermo::linalg {
 
+/// Fill-reducing ordering applied before the symbolic pass.
+enum class Ordering {
+  kNatural,    // factor A as given (baseline / debugging)
+  kMinDegree,  // deterministic minimum-degree (linalg/ordering.hpp)
+  kAuto,       // kMinDegree at/above kOrderingAutoMinNodes, else natural
+};
+
+/// Matrix size at and above which Ordering::kAuto applies min-degree.
+/// Below it the fill win is negligible and natural order keeps small
+/// models' historical bit-exact results (argmax tie-breaks included).
+inline constexpr std::size_t kOrderingAutoMinNodes = 64;
+
 class SparseCholeskyFactor {
  public:
-  /// Factors A = L D Lᵗ. Throws InvalidArgument when A is not square,
-  /// NumericalError when A is not (numerically) positive definite.
-  /// Only the lower triangle of A (col <= row) is read.
-  explicit SparseCholeskyFactor(const SparseMatrix& a);
+  /// Factors A = L D Lᵗ, by default after a fill-reducing
+  /// minimum-degree permutation (applied internally; solve() works in
+  /// the original index order). Throws InvalidArgument when A is not
+  /// square, NumericalError when A is not (numerically) positive
+  /// definite. Only the lower triangle of the (permuted) matrix is
+  /// read numerically, but with kMinDegree the PATTERN of both
+  /// triangles must be symmetric — true by construction for stamped
+  /// conductance matrices.
+  explicit SparseCholeskyFactor(const SparseMatrix& a,
+                                Ordering ordering = Ordering::kAuto);
 
   std::size_t size() const { return n_; }
 
   /// Strictly-lower-triangular non-zeros of L (the unit diagonal is
-  /// implicit). Exposed so benches/tests can report fill.
+  /// implicit) — POST-ordering fill. Exposed so benches/tests can
+  /// report fill.
   std::size_t factor_nonzeros() const { return values_.size(); }
 
+  /// The ordering actually applied — kAuto is resolved at construction
+  /// and never stored.
+  Ordering ordering() const { return ordering_; }
+
+  /// The fill-reducing permutation actually applied: perm()[k] is the
+  /// original index eliminated k-th. Empty when factoring in natural
+  /// order.
+  const std::vector<std::size_t>& permutation() const { return perm_; }
+
   /// Solves A x = b (forward + diagonal + backward substitution;
-  /// reusable, thread-safe).
+  /// reusable, thread-safe). b and x are in the original index order.
   Vector solve(const Vector& b) const;
 
  private:
+  void factorize(const SparseMatrix& a);
+  void solve_in_place(Vector& x) const;
+
   std::size_t n_ = 0;
+  Ordering ordering_ = Ordering::kNatural;
+  std::vector<std::size_t> perm_;      // position -> original index
+  std::vector<std::size_t> inv_perm_;  // original index -> position
   // L in compressed-sparse-column form, strictly lower triangle, row
   // indices increasing within each column (the natural order in which
   // the up-looking algorithm emits them).

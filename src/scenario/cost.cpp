@@ -101,10 +101,20 @@ std::size_t ptrace_step_count(const PtraceSpec& ptrace) {
 dispatch::CostFeatures request_cost_features(const ScenarioRequest& request) {
   dispatch::CostFeatures features;
   features.cores = estimated_cores(request.soc);
-  features.nodes = features.cores + thermal::RCModel::kPackageNodes;
+  // A grid request's model size is the discretisation, not the core
+  // count: rows·cols cells + the 10 package nodes. That is exactly the
+  // request shape (no estimate needed) and is what makes a 317×317 grid
+  // solve rank as the whale it is.
+  features.nodes = request.kind == RequestKind::kGridSteady
+                       ? request.grid.rows * request.grid.cols + 10
+                       : features.cores + thermal::RCModel::kPackageNodes;
   features.sparse =
       thermal::resolve_backend(request.solver.backend, features.nodes) ==
       thermal::SolverBackend::kSparse;
+  // Post-ordering fill model for the sparse back-substitution term
+  // (docs/SOLVERS.md "Ordering"); estimate() would apply the same
+  // default, set explicitly here so the feature record is complete.
+  features.solve_nnz = dispatch::predicted_factor_nnz(features.nodes);
   switch (request.kind) {
     case RequestKind::kStclSweep:
       features.transient = request.solver.transient;
@@ -134,6 +144,15 @@ dispatch::CostFeatures request_cost_features(const ScenarioRequest& request) {
       features.steps_per_call =
           mean_test_length(request.soc) / request.solver.dt;
       features.stcl_points = 1;
+      break;
+    case RequestKind::kGridSteady:
+      // One steady-state solve of the rows·cols grid: a single oracle
+      // call, no transient stepping. The cold factorization is folded
+      // into the per-call term by calibration.
+      features.transient = false;
+      features.steps_per_call = 0.0;
+      features.stcl_points = 1;
+      features.oracle_calls = 1.0;
       break;
   }
   return features;

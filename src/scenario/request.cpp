@@ -67,16 +67,41 @@ RequestKind parse_request_kind(const JsonValue& v) {
   if (name == "stcl_sweep") return RequestKind::kStclSweep;
   if (name == "ptrace") return RequestKind::kPtrace;
   if (name == "chained") return RequestKind::kChained;
-  fail("kind", "unknown kind '" + name +
-                   "' (expected 'stcl_sweep', 'ptrace', or 'chained')");
+  if (name == "grid_steady") return RequestKind::kGridSteady;
+  fail("kind",
+       "unknown kind '" + name +
+           "' (expected 'stcl_sweep', 'ptrace', 'chained', or 'grid_steady')");
 }
 
 /// The Algorithm 1 knobs (tl, stcl, weighting, ordering) only make sense
-/// when a schedule is being generated — every kind except ptrace replay.
+/// when a schedule is being generated — every kind except ptrace replay
+/// and the grid oracle.
 void require_scheduling_kind(RequestKind kind, const std::string& path) {
-  if (kind == RequestKind::kPtrace) {
-    fail(path, "not valid for kind 'ptrace'");
+  if (kind == RequestKind::kPtrace || kind == RequestKind::kGridSteady) {
+    fail(path, std::string("not valid for kind '") + request_kind_name(kind) +
+                   "'");
   }
+}
+
+GridSpec parse_grid(const JsonValue& v) {
+  if (!v.is_object()) {
+    fail("grid", std::string("expected an object, got ") + v.type_name());
+  }
+  GridSpec spec;
+  for (const auto& [key, value] : v.members()) {
+    const std::string path = "grid." + key;
+    if (key == "rows") {
+      spec.rows = static_cast<std::size_t>(require_integer(value, path, 2));
+    } else if (key == "cols") {
+      spec.cols = static_cast<std::size_t>(require_integer(value, path, 2));
+    } else {
+      fail("grid", "unknown field '" + key + "'");
+    }
+  }
+  if (spec.rows > kMaxGridSide || spec.cols > kMaxGridSide) {
+    fail("grid", "rows and cols must be <= " + std::to_string(kMaxGridSide));
+  }
+  return spec;
 }
 
 PtraceSpec parse_ptrace(const JsonValue& v) {
@@ -335,6 +360,7 @@ const char* request_kind_name(RequestKind kind) {
     case RequestKind::kStclSweep: return "stcl_sweep";
     case RequestKind::kPtrace: return "ptrace";
     case RequestKind::kChained: return "chained";
+    case RequestKind::kGridSteady: return "grid_steady";
   }
   return "?";
 }
@@ -403,6 +429,11 @@ ScenarioRequest parse_request(const JsonValue& json) {
         fail("chained", "only valid for kind 'chained'");
       }
       request.chained = parse_chained(value);
+    } else if (key == "grid") {
+      if (request.kind != RequestKind::kGridSteady) {
+        fail("grid", "only valid for kind 'grid_steady'");
+      }
+      request.grid = parse_grid(value);
     } else if (key == "tl") {
       require_scheduling_kind(request.kind, "tl");
       request.tl = positive_number(value, "tl");
@@ -498,6 +529,13 @@ JsonValue to_json(const ScenarioRequest& request) {
     }
     ptrace.set("step_duration", JsonValue::number(request.ptrace.step_duration));
     out.set("ptrace", std::move(ptrace));
+  } else if (request.kind == RequestKind::kGridSteady) {
+    // The grid oracle has no scheduling knobs either; canonical form is
+    // the discretisation plus the solver.
+    JsonValue grid = JsonValue::object();
+    grid.set("rows", JsonValue::number(static_cast<double>(request.grid.rows)));
+    grid.set("cols", JsonValue::number(static_cast<double>(request.grid.cols)));
+    out.set("grid", std::move(grid));
   } else {
     out.set("tl", JsonValue::number(request.tl));
     if (request.stcl.single()) {

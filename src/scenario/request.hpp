@@ -40,14 +40,20 @@ namespace thermo::scenario {
 ///   * kChained — generate a schedule at one STCL value, then
 ///     re-validate it with the chained oracle (sessions run back to
 ///     back with an optional cooling gap instead of restarting from
-///     ambient — the paper's independent-session assumption, stressed).
+///     ambient — the paper's independent-session assumption, stressed);
+///   * kGridSteady — fine-resolution steady-state grid solve: the SoC's
+///     test powers are spread over a rows×cols cell grid
+///     (thermal::GridThermalModel) and solved through the cached,
+///     fill-ordered sparse factor — the 100k-node workload.
 enum class RequestKind {
   kStclSweep,
   kPtrace,
   kChained,
+  kGridSteady,
 };
 
-/// Canonical spelling used in JSON ("stcl_sweep", "ptrace", "chained").
+/// Canonical spelling used in JSON ("stcl_sweep", "ptrace", "chained",
+/// "grid_steady").
 const char* request_kind_name(RequestKind kind);
 
 /// Where the system under test comes from.
@@ -142,6 +148,18 @@ struct ChainedSpec {
   double cooling_gap = 0.0;
 };
 
+/// Kind kGridSteady: die discretisation for the grid oracle. rows*cols
+/// cells + 10 package nodes; 317x317 crosses 100k nodes. Capped at
+/// kMaxGridSide per axis so one request stays a bounded work item.
+struct GridSpec {
+  std::size_t rows = 64;
+  std::size_t cols = 64;
+};
+
+/// Largest grid rows/cols a single request may ask for (1024² cells
+/// ≈ 1.05M nodes — already ~10× the 100k-node gate).
+inline constexpr std::size_t kMaxGridSide = 1024;
+
 struct ScenarioRequest {
   /// Caller-chosen identifier echoed into the result record. When empty,
   /// `thermosched serve` substitutes "line-<input line number>".
@@ -168,6 +186,9 @@ struct ScenarioRequest {
 
   /// kind == kChained only.
   ChainedSpec chained;
+
+  /// kind == kGridSteady only.
+  GridSpec grid;
 
   double tl = 155.0;  ///< temperature limit TL [deg C]
   StclSpan stcl;

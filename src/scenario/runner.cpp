@@ -71,6 +71,23 @@ JsonValue to_json(const ScenarioResult& result) {
     out.set("simulation_effort", JsonValue::number(result.simulation_effort));
     return out;
   }
+  if (result.kind == RequestKind::kGridSteady) {
+    JsonValue grid = JsonValue::object();
+    grid.set("rows", JsonValue::number(static_cast<double>(result.grid.rows)));
+    grid.set("cols", JsonValue::number(static_cast<double>(result.grid.cols)));
+    grid.set("nodes",
+             JsonValue::number(static_cast<double>(result.grid.nodes)));
+    grid.set("max_cell_temperature",
+             JsonValue::number(result.grid.max_cell_temperature));
+    grid.set("mean_cell_temperature",
+             JsonValue::number(result.grid.mean_cell_temperature));
+    grid.set("max_block_temperature",
+             JsonValue::number(result.grid.max_block_temperature));
+    grid.set("hottest", JsonValue::string(result.grid.hottest));
+    out.set("grid", std::move(grid));
+    out.set("simulation_effort", JsonValue::number(result.simulation_effort));
+    return out;
+  }
   JsonValue points = JsonValue::array();
   for (const core::StclSweepPoint& point : result.points) {
     JsonValue p = JsonValue::object();
@@ -152,6 +169,37 @@ std::shared_ptr<const thermal::RCModel> ScenarioRunner::model_for(
   // *outside* any lock here.
   auto model = std::make_shared<const thermal::RCModel>(soc.flp, soc.package);
   models_.emplace(key, CachedModel{model, ++use_counter_});
+  ++stats_.model_misses;
+  return model;
+}
+
+std::shared_ptr<const thermal::GridThermalModel> ScenarioRunner::grid_model_for(
+    const SocSelector& selector, const core::SocSpec& soc,
+    const GridSpec& grid) {
+  const std::string key = selector.geometry_key() + ":grid:" +
+                          std::to_string(grid.rows) + "x" +
+                          std::to_string(grid.cols);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = grids_.find(key);
+  if (it != grids_.end()) {
+    ++stats_.model_hits;
+    it->second.last_used = ++use_counter_;
+    return it->second.model;
+  }
+  if (grids_.size() >= kMaxCachedModels) {
+    auto victim = grids_.begin();
+    for (auto cand = grids_.begin(); cand != grids_.end(); ++cand) {
+      if (cand->second.last_used < victim->second.last_used) victim = cand;
+    }
+    grids_.erase(victim);
+  }
+  // Grid assembly is sparse-first (one Builder pass over rows*cols
+  // cells), so even a 100k-node build under the lock stays O(nnz); the
+  // expensive fill-ordered factorization happens later in the solver
+  // cache, outside this mutex.
+  auto model = std::make_shared<const thermal::GridThermalModel>(
+      soc.flp, soc.package, thermal::GridOptions{grid.rows, grid.cols});
+  grids_.emplace(key, CachedGrid{model, ++use_counter_});
   ++stats_.model_misses;
   return model;
 }
@@ -271,6 +319,51 @@ void run_chained(const ScenarioRequest& request, const core::SocSpec& soc,
       sched_analyzer.simulation_effort() + check_analyzer.simulation_effort();
 }
 
+void run_grid_steady(const ScenarioRequest& request, const core::SocSpec& soc,
+                     const std::shared_ptr<const thermal::GridThermalModel>& model,
+                     ScenarioResult& result) {
+  // Every block dissipates its test power simultaneously — the
+  // all-cores-under-test worst case the grid oracle is asked to resolve
+  // at cell granularity (power_scale is already applied by build_soc).
+  std::vector<double> power(soc.tests.size(), 0.0);
+  for (std::size_t i = 0; i < soc.tests.size(); ++i) {
+    power[i] = soc.tests[i].power;
+  }
+  const thermal::GridSteadyResult steady =
+      model->solve(power, request.solver.backend);
+
+  result.grid.rows = model->rows();
+  result.grid.cols = model->cols();
+  result.grid.nodes = model->node_count();
+  double max_cell = steady.cell_temperature.empty()
+                        ? 0.0
+                        : steady.cell_temperature.front();
+  double sum = 0.0;
+  for (const double t : steady.cell_temperature) {
+    if (t > max_cell) max_cell = t;
+    sum += t;
+  }
+  result.grid.max_cell_temperature = max_cell;
+  result.grid.mean_cell_temperature =
+      steady.cell_temperature.empty()
+          ? 0.0
+          : sum / static_cast<double>(steady.cell_temperature.size());
+  std::size_t hottest = 0;
+  for (std::size_t b = 1; b < steady.block_max_temperature.size(); ++b) {
+    if (steady.block_max_temperature[b] >
+        steady.block_max_temperature[hottest]) {
+      hottest = b;
+    }
+  }
+  if (!steady.block_max_temperature.empty()) {
+    result.grid.max_block_temperature = steady.block_max_temperature[hottest];
+    result.grid.hottest = soc.flp.block(hottest).name;
+  }
+  // Steady state simulates no transient seconds; the record's effort
+  // metric stays 0 by design (wall time is serve's stderr concern).
+  result.simulation_effort = 0.0;
+}
+
 }  // namespace
 
 ScenarioResult ScenarioRunner::run(const ScenarioRequest& request) {
@@ -279,20 +372,29 @@ ScenarioResult ScenarioRunner::run(const ScenarioRequest& request) {
   result.kind = request.kind;
   try {
     const core::SocSpec soc = build_soc(request.soc);
-    const auto model = model_for(request.soc, soc);
     result.soc_name = soc.name;
     result.cores = soc.core_count();
 
-    switch (request.kind) {
-      case RequestKind::kStclSweep:
-        run_stcl_sweep(request, soc, model, result);
-        break;
-      case RequestKind::kPtrace:
-        run_ptrace(request, soc, model, result);
-        break;
-      case RequestKind::kChained:
-        run_chained(request, soc, model, result);
-        break;
+    if (request.kind == RequestKind::kGridSteady) {
+      // The block-level RCModel is never consulted for a grid solve, so
+      // skip model_for entirely — at 100k nodes the savings matter.
+      run_grid_steady(request, soc,
+                      grid_model_for(request.soc, soc, request.grid), result);
+    } else {
+      const auto model = model_for(request.soc, soc);
+      switch (request.kind) {
+        case RequestKind::kStclSweep:
+          run_stcl_sweep(request, soc, model, result);
+          break;
+        case RequestKind::kPtrace:
+          run_ptrace(request, soc, model, result);
+          break;
+        case RequestKind::kChained:
+          run_chained(request, soc, model, result);
+          break;
+        case RequestKind::kGridSteady:
+          break;  // handled above
+      }
     }
     result.ok = true;
   } catch (const Error& e) {
@@ -301,6 +403,7 @@ ScenarioResult ScenarioRunner::run(const ScenarioRequest& request) {
     result.points.clear();
     result.ptrace = PtraceOutcome{};
     result.chained = ChainedOutcome{};
+    result.grid = GridOutcome{};
     result.simulation_effort = 0.0;
   }
   return result;

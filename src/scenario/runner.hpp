@@ -35,6 +35,7 @@
 #include "core/soc_spec.hpp"
 #include "core/stcl_sweep.hpp"
 #include "scenario/request.hpp"
+#include "thermal/grid_model.hpp"
 #include "thermal/rc_model.hpp"
 
 namespace thermo::scenario {
@@ -68,6 +69,17 @@ struct ChainedOutcome {
   bool safe = true;               ///< no chained violation
 };
 
+/// kind == kGridSteady: the fine-grid steady-state solve.
+struct GridOutcome {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::size_t nodes = 0;              ///< rows*cols + 10 package nodes
+  double max_cell_temperature = 0.0;  ///< hottest cell [deg C]
+  double mean_cell_temperature = 0.0; ///< arithmetic mean over cells [deg C]
+  double max_block_temperature = 0.0; ///< hottest block's covered-cell max
+  std::string hottest;                ///< name of that block
+};
+
 struct ScenarioResult {
   std::string id;
   RequestKind kind = RequestKind::kStclSweep;
@@ -79,6 +91,7 @@ struct ScenarioResult {
   std::vector<core::StclSweepPoint> points;
   PtraceOutcome ptrace;    ///< kind == kPtrace
   ChainedOutcome chained;  ///< kind == kChained
+  GridOutcome grid;        ///< kind == kGridSteady
   /// Total simulated seconds across all points — the paper's effort
   /// metric, and the deterministic "timing" field of the record (wall
   /// time would break 1-vs-N-thread reproducibility; serve reports it
@@ -107,6 +120,13 @@ class ScenarioRunner {
   std::shared_ptr<const thermal::RCModel> model_for(
       const SocSelector& selector, const core::SocSpec& soc);
 
+  /// The shared grid model for (geometry, rows×cols), built on first
+  /// use — same LRU discipline as model_for, so repeated grid_steady
+  /// requests on one discretisation share one cached sparse factor.
+  std::shared_ptr<const thermal::GridThermalModel> grid_model_for(
+      const SocSelector& selector, const core::SocSpec& soc,
+      const GridSpec& grid);
+
   struct Stats {
     std::size_t model_hits = 0;    ///< requests that reused a cached model
     std::size_t model_misses = 0;  ///< model builds (distinct geometries + re-builds after eviction)
@@ -124,9 +144,14 @@ class ScenarioRunner {
     std::shared_ptr<const thermal::RCModel> model;
     std::uint64_t last_used = 0;  ///< LRU stamp (monotonic use counter)
   };
+  struct CachedGrid {
+    std::shared_ptr<const thermal::GridThermalModel> model;
+    std::uint64_t last_used = 0;
+  };
 
   mutable std::mutex mutex_;
   std::map<std::string, CachedModel> models_;
+  std::map<std::string, CachedGrid> grids_;
   std::uint64_t use_counter_ = 0;
   Stats stats_;
 };

@@ -3,7 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
-#include "linalg/iterative.hpp"
+#include "thermal/model_identity.hpp"
+#include "thermal/solver_cache.hpp"
 #include "util/error.hpp"
 
 namespace thermo::thermal {
@@ -17,7 +18,10 @@ double overlap_1d(double a0, double a1, double b0, double b1) {
 GridThermalModel::GridThermalModel(const floorplan::Floorplan& fp,
                                    const PackageParams& package,
                                    GridOptions options)
-    : floorplan_(fp), package_(package), options_(options) {
+    : floorplan_(fp),
+      package_(package),
+      options_(options),
+      identity_(next_model_identity()) {
   package_.validate();
   floorplan_.require_valid();
   THERMO_REQUIRE(options_.rows >= 2 && options_.cols >= 2,
@@ -159,8 +163,8 @@ double GridThermalModel::coverage(std::size_t block, std::size_t row,
   return 0.0;
 }
 
-GridSteadyResult GridThermalModel::solve(
-    const std::vector<double>& block_power) const {
+GridSteadyResult GridThermalModel::solve(const std::vector<double>& block_power,
+                                         SolverBackend backend) const {
   THERMO_REQUIRE(block_power.size() == floorplan_.size(),
                  "power vector size must equal the block count");
   const double a_cell = cell_w_ * cell_h_;
@@ -175,21 +179,27 @@ GridSteadyResult GridThermalModel::solve(
     }
   }
 
-  linalg::IterativeOptions options;
-  options.tolerance = 1e-11;
-  options.max_iterations = 50ul * node_count() + 1000ul;
-  const linalg::IterativeResult cg =
-      linalg::conjugate_gradient(conductance_, power, options);
-  if (!cg.converged) {
-    throw NumericalError("grid model: CG failed to converge (residual " +
-                         std::to_string(cg.residual) + ")");
+  // Unified solve path: the resolved backend picks a cached factor
+  // from the process-wide ThermalSolverCache, exactly like RCModel's
+  // steady path — a repeated solve on the same grid is one
+  // back-substitution.
+  ThermalSolverCache& cache = ThermalSolverCache::instance();
+  std::vector<double> rise;
+  if (resolve_backend(backend, node_count()) == SolverBackend::kSparse) {
+    rise = cache.sparse_cholesky(*this)->solve(power);
+  } else {
+    THERMO_REQUIRE(node_count() <= RCModel::kDenseMirrorMaxNodes,
+                   "grid model: dense backend disabled above " +
+                       std::to_string(RCModel::kDenseMirrorMaxNodes) +
+                       " nodes; use the sparse backend");
+    rise = cache.cholesky(*this)->solve(power);
   }
 
   GridSteadyResult result;
-  result.iterations = cg.iterations;
+  result.iterations = 0;
   result.cell_temperature.resize(cell_count());
   for (std::size_t cell = 0; cell < cell_count(); ++cell) {
-    result.cell_temperature[cell] = package_.ambient + cg.solution[cell];
+    result.cell_temperature[cell] = package_.ambient + rise[cell];
   }
   result.block_max_temperature.assign(floorplan_.size(), package_.ambient);
   result.block_mean_temperature.assign(floorplan_.size(), 0.0);

@@ -10,15 +10,21 @@
 // Purpose: a higher-fidelity steady-state oracle to quantify the
 // discretisation error of the block model (bench_ablation_grid) and to
 // expose intra-block temperature gradients that block granularity hides.
-// Steady state only; the conductance matrix is kept sparse and solved
-// with preconditioned CG, so fine grids (100x100+) stay tractable.
+// Steady state only. Solves route through SolverBackend +
+// ThermalSolverCache exactly like RCModel: the resolved backend picks a
+// cached dense Cholesky (small grids) or a cached fill-ordered sparse
+// LDLᵗ factor (everything else), so repeated solves on one grid pay a
+// single factorization — 100k-node grids (317×317+) factor once and
+// back-substitute per power map.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "floorplan/floorplan.hpp"
 #include "linalg/sparse.hpp"
+#include "thermal/backend.hpp"
 #include "thermal/package.hpp"
 
 namespace thermo::thermal {
@@ -35,7 +41,8 @@ struct GridSteadyResult {
   std::vector<double> block_max_temperature;
   /// Per-block area-weighted mean temperature [deg C].
   std::vector<double> block_mean_temperature;
-  /// CG iterations used.
+  /// Iterative-solver iterations; 0 for the direct factor backends
+  /// (kept so telemetry consumers need no schema change).
   std::size_t iterations = 0;
 };
 
@@ -53,11 +60,19 @@ class GridThermalModel {
   const floorplan::Floorplan& floorplan() const { return floorplan_; }
   const PackageParams& package() const { return package_; }
 
+  /// Process-unique identity (thermal/model_identity.hpp), drawn from
+  /// the same counter as RCModel::identity() so ThermalSolverCache can
+  /// key grid factors alongside block-model factors without aliasing.
+  /// Copies share the identity; the model is immutable after build.
+  std::uint64_t identity() const { return identity_; }
+
   /// Fraction of cell (r, c) covered by block b (0..1).
   double coverage(std::size_t block, std::size_t row, std::size_t col) const;
 
-  /// Steady-state solve for per-block power [W].
-  GridSteadyResult solve(const std::vector<double>& block_power) const;
+  /// Steady-state solve for per-block power [W] through the resolved
+  /// backend's cached factor (ThermalSolverCache).
+  GridSteadyResult solve(const std::vector<double>& block_power,
+                         SolverBackend backend = SolverBackend::kAuto) const;
 
   /// The sparse conductance matrix (ambient eliminated onto diagonal).
   const linalg::SparseMatrix& conductance() const { return conductance_; }
@@ -70,6 +85,7 @@ class GridThermalModel {
   floorplan::Floorplan floorplan_;
   PackageParams package_;
   GridOptions options_;
+  std::uint64_t identity_ = 0;
   double cell_w_ = 0.0;
   double cell_h_ = 0.0;
   linalg::SparseMatrix conductance_;

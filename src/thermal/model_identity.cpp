@@ -1,0 +1,12 @@
+#include "thermal/model_identity.hpp"
+
+#include <atomic>
+
+namespace thermo::thermal {
+
+std::uint64_t next_model_identity() {
+  static std::atomic<std::uint64_t> counter{0};
+  return ++counter;
+}
+
+}  // namespace thermo::thermal

@@ -1,0 +1,16 @@
+// Process-unique identity counter shared by every immutable thermal
+// model type (RCModel, GridThermalModel). ThermalSolverCache keys
+// factor entries by (identity, dt, kind) only, so all model types that
+// feed the cache MUST draw from one counter — per-class counters would
+// collide and alias unrelated factors.
+#pragma once
+
+#include <cstdint>
+
+namespace thermo::thermal {
+
+/// Returns the next process-unique model identity (thread-safe,
+/// monotonically increasing, never 0).
+std::uint64_t next_model_identity();
+
+}  // namespace thermo::thermal

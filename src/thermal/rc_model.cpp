@@ -1,45 +1,74 @@
 #include "thermal/rc_model.hpp"
 
-#include <atomic>
 #include <cmath>
 
+#include "thermal/model_identity.hpp"
 #include "util/error.hpp"
 
 namespace thermo::thermal {
 
 namespace fp = thermo::floorplan;
 
-std::uint64_t RCModel::next_identity() {
-  static std::atomic<std::uint64_t> counter{0};
-  return ++counter;
-}
-
 RCModel::RCModel(const fp::Floorplan& floorplan, const PackageParams& package)
-    : floorplan_(floorplan), package_(package), identity_(next_identity()) {
+    : floorplan_(floorplan),
+      package_(package),
+      identity_(next_model_identity()) {
   package_.validate();
   floorplan_.require_valid();
   block_count_ = floorplan_.size();
   build();
 }
 
-void RCModel::stamp(std::size_t a, std::size_t b, double g) {
-  THERMO_ENSURE(std::isfinite(g) && g > 0.0, "stamped conductance must be positive");
-  conductance_(a, a) += g;
-  conductance_(b, b) += g;
-  conductance_(a, b) -= g;
-  conductance_(b, a) -= g;
+RCModel::RCModel(const RCModel& other)
+    : floorplan_(other.floorplan_),
+      package_(other.package_),
+      identity_(other.identity_),
+      block_count_(other.block_count_),
+      sparse_(other.sparse_),
+      capacitance_(other.capacitance_),
+      ambient_conductance_(other.ambient_conductance_),
+      node_names_(other.node_names_) {}
+
+RCModel& RCModel::operator=(const RCModel& other) {
+  if (this == &other) return *this;
+  floorplan_ = other.floorplan_;
+  package_ = other.package_;
+  identity_ = other.identity_;
+  block_count_ = other.block_count_;
+  sparse_ = other.sparse_;
+  capacitance_ = other.capacitance_;
+  ambient_conductance_ = other.ambient_conductance_;
+  node_names_ = other.node_names_;
+  std::lock_guard<std::mutex> lock(dense_mutex_);
+  dense_.reset();
+  return *this;
 }
 
-void RCModel::stamp_to_ambient(std::size_t node, double g) {
+void RCModel::stamp(linalg::SparseMatrix::Builder& builder, std::size_t a,
+                    std::size_t b, double g) {
+  THERMO_ENSURE(std::isfinite(g) && g > 0.0, "stamped conductance must be positive");
+  builder.add(a, a, g);
+  builder.add(b, b, g);
+  builder.add(a, b, -g);
+  builder.add(b, a, -g);
+}
+
+void RCModel::stamp_to_ambient(linalg::SparseMatrix::Builder& builder,
+                               std::size_t node, double g) {
   THERMO_ENSURE(std::isfinite(g) && g > 0.0, "ambient conductance must be positive");
-  conductance_(node, node) += g;
+  builder.add(node, node, g);
   ambient_conductance_[node] += g;
 }
 
 void RCModel::build() {
   const std::size_t n = block_count_;
   const std::size_t total = node_count();
-  conductance_ = linalg::DenseMatrix(total, total, 0.0);
+  // Sparse-first assembly: every stamp goes straight into the COO
+  // builder (duplicates merge in insertion order, so the CSR values
+  // are bit-identical to accumulating into a dense matrix). ~4 stamps
+  // of 4 entries per node bounds the triplet count.
+  linalg::SparseMatrix::Builder builder(total, total);
+  builder.reserve(16 * total);
   capacitance_.assign(total, 0.0);
   ambient_conductance_.assign(total, 0.0);
   node_names_.clear();
@@ -70,7 +99,7 @@ void RCModel::build() {
     const double db = b.centroid_to_side(adj.side_of_a);
     const double resistance =
         (da + db) / (package_.k_die * package_.t_die * adj.shared_length);
-    stamp(adj.a, adj.b, 1.0 / resistance);
+    stamp(builder, adj.a, adj.b, 1.0 / resistance);
   }
 
   // --- die vertical path: block -> spreader centre ---
@@ -82,7 +111,7 @@ void RCModel::build() {
     // side sqrt(area) into the copper spreader; 0.475/(k*L) is the
     // classic square-source half-space approximation.
     const double r_spread = 0.475 / (package_.k_spreader * std::sqrt(area));
-    stamp(i, sp_c, 1.0 / (r_die + r_tim + r_spread));
+    stamp(builder, i, sp_c, 1.0 / (r_die + r_tim + r_spread));
   }
 
   // --- spreader lateral: centre <-> periphery (half-side copper slab) ---
@@ -91,7 +120,7 @@ void RCModel::build() {
     const double r_lat = (side / 2.0) /
                          (package_.k_spreader * package_.t_spreader * side);
     for (std::size_t node : {sp_n, sp_s, sp_e, sp_w}) {
-      stamp(sp_c, node, 1.0 / r_lat);
+      stamp(builder, sp_c, node, 1.0 / r_lat);
     }
   }
 
@@ -103,16 +132,16 @@ void RCModel::build() {
     const double r_center =
         package_.t_spreader / (2.0 * package_.k_spreader * a_spr) +
         package_.t_sink / (2.0 * package_.k_sink * a_spr);
-    stamp(sp_c, sk_c, 1.0 / r_center);
+    stamp(builder, sp_c, sk_c, 1.0 / r_center);
     // Periphery quadrants drain into the matching sink periphery node.
     const double a_quadrant = a_spr / 4.0;
     const double r_side =
         package_.t_spreader / (2.0 * package_.k_spreader * a_quadrant) +
         package_.t_sink / (2.0 * package_.k_sink * a_quadrant);
-    stamp(sp_n, sk_n, 1.0 / r_side);
-    stamp(sp_s, sk_s, 1.0 / r_side);
-    stamp(sp_e, sk_e, 1.0 / r_side);
-    stamp(sp_w, sk_w, 1.0 / r_side);
+    stamp(builder, sp_n, sk_n, 1.0 / r_side);
+    stamp(builder, sp_s, sk_s, 1.0 / r_side);
+    stamp(builder, sp_e, sk_e, 1.0 / r_side);
+    stamp(builder, sp_w, sk_w, 1.0 / r_side);
   }
 
   // --- sink lateral: centre <-> periphery ---
@@ -121,7 +150,7 @@ void RCModel::build() {
     const double r_lat =
         (side / 2.0) / (package_.k_sink * package_.t_sink * side);
     for (std::size_t node : {sk_n, sk_s, sk_e, sk_w}) {
-      stamp(sk_c, node, 1.0 / r_lat);
+      stamp(builder, sk_c, node, 1.0 / r_lat);
     }
   }
 
@@ -133,16 +162,16 @@ void RCModel::build() {
     const double a_side = (a_sink - a_spr) / 4.0;
     // R_node = r_convec * (A_sink / A_node): nodes in parallel recombine
     // to exactly r_convec.
-    stamp_to_ambient(sk_c, a_center / (package_.r_convec * a_sink));
+    stamp_to_ambient(builder, sk_c, a_center / (package_.r_convec * a_sink));
     if (a_side > 0.0) {
       for (std::size_t node : {sk_n, sk_s, sk_e, sk_w}) {
-        stamp_to_ambient(node, a_side / (package_.r_convec * a_sink));
+        stamp_to_ambient(builder, node, a_side / (package_.r_convec * a_sink));
       }
     } else {
       // Degenerate package (sink == spreader): keep periphery grounded
       // through a tiny leak so G stays non-singular.
       for (std::size_t node : {sk_n, sk_s, sk_e, sk_w}) {
-        stamp_to_ambient(node, 1e-9);
+        stamp_to_ambient(builder, node, 1e-9);
       }
     }
   }
@@ -178,9 +207,23 @@ void RCModel::build() {
     }
   }
 
-  sparse_ = linalg::SparseMatrix::from_dense(conductance_);
-  THERMO_ENSURE(conductance_.is_symmetric(1e-9),
+  sparse_ = builder.build();
+  // Symmetry validation runs on the CSR matrix directly — no dense
+  // mirror is materialised for it (O(nnz·log) instead of O(n²)).
+  THERMO_ENSURE(sparse_.is_symmetric(1e-9),
                 "conductance matrix must be symmetric");
+}
+
+const linalg::DenseMatrix& RCModel::conductance() const {
+  std::lock_guard<std::mutex> lock(dense_mutex_);
+  if (!dense_) {
+    THERMO_REQUIRE(node_count() <= kDenseMirrorMaxNodes,
+                   "dense conductance mirror disabled above " +
+                       std::to_string(kDenseMirrorMaxNodes) +
+                       " nodes; use conductance_sparse()");
+    dense_ = std::make_unique<linalg::DenseMatrix>(sparse_.to_dense());
+  }
+  return *dense_;
 }
 
 const std::string& RCModel::node_name(std::size_t node) const {
@@ -205,7 +248,7 @@ double RCModel::conductance_between(std::size_t a, std::size_t b) const {
   THERMO_REQUIRE(a < node_count() && b < node_count(),
                  "node index out of range");
   THERMO_REQUIRE(a != b, "conductance_between requires two distinct nodes");
-  return -conductance_(a, b);
+  return -sparse_.at(a, b);
 }
 
 double RCModel::conductance_to_ambient(std::size_t node) const {

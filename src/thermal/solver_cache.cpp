@@ -119,7 +119,38 @@ ThermalSolverCache::sparse_stepper(const RCModel& model, double dt) {
   return std::static_pointer_cast<const linalg::SparseImplicitStepper>(value);
 }
 
+std::shared_ptr<const linalg::CholeskyFactor> ThermalSolverCache::cholesky(
+    const GridThermalModel& model) {
+  auto value = lookup(Key{model.identity(), 0, 0}, [&] {
+    return std::shared_ptr<const void>(
+        std::make_shared<const linalg::CholeskyFactor>(
+            model.conductance().to_dense()));
+  });
+  return std::static_pointer_cast<const linalg::CholeskyFactor>(value);
+}
+
+std::shared_ptr<const linalg::SparseCholeskyFactor>
+ThermalSolverCache::sparse_cholesky(const GridThermalModel& model) {
+  auto value = lookup(Key{model.identity(), 0, 3}, [&] {
+    return std::shared_ptr<const void>(
+        std::make_shared<const linalg::SparseCholeskyFactor>(
+            model.conductance()));
+  });
+  return std::static_pointer_cast<const linalg::SparseCholeskyFactor>(value);
+}
+
 void ThermalSolverCache::invalidate(const RCModel& model) {
+  std::scoped_lock lock(mutex_);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->first.model == model.identity()) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ThermalSolverCache::invalidate(const GridThermalModel& model) {
   std::scoped_lock lock(mutex_);
   for (auto it = entries_.begin(); it != entries_.end();) {
     if (it->first.model == model.identity()) {

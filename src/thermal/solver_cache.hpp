@@ -1,5 +1,6 @@
 // ThermalSolverCache: process-wide cache of matrix factorizations keyed
-// by RCModel identity.
+// by model identity (RCModel and GridThermalModel share one identity
+// counter — thermal/model_identity.hpp).
 //
 // The paper's Algorithm 1 validates thousands of candidate sessions
 // against ONE fixed conductance matrix G — only the power vector (the
@@ -42,6 +43,7 @@
 #include "linalg/lu.hpp"
 #include "linalg/ode.hpp"
 #include "linalg/sparse_cholesky.hpp"
+#include "thermal/grid_model.hpp"
 #include "thermal/rc_model.hpp"
 
 namespace thermo::thermal {
@@ -78,10 +80,22 @@ class ThermalSolverCache {
   std::shared_ptr<const linalg::SparseImplicitStepper> sparse_stepper(
       const RCModel& model, double dt);
 
+  /// Grid-model factors, keyed by GridThermalModel::identity() — the
+  /// identity space is shared with RCModel (thermal/model_identity.hpp),
+  /// so grid and block factors coexist in one cache without aliasing.
+  /// Steady-state only (the grid model has no transient path).
+  std::shared_ptr<const linalg::CholeskyFactor> cholesky(
+      const GridThermalModel& model);
+  std::shared_ptr<const linalg::SparseCholeskyFactor> sparse_cholesky(
+      const GridThermalModel& model);
+
   /// Drops every entry belonging to `model` (all kinds, all dts).
   /// Factors already handed out stay valid — shared_ptr keeps them
   /// alive for their holders.
   void invalidate(const RCModel& model);
+
+  /// Same, for a grid model's factors.
+  void invalidate(const GridThermalModel& model);
 
   /// Drops everything.
   void clear();

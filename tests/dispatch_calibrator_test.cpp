@@ -56,7 +56,7 @@ CostConstants planted_constants() {
   CostConstants truth;
   truth.per_request = 3.0;
   truth.dense_ops_per_node_sq = 2e-4;
-  truth.sparse_ops_per_node = 1.5e-2;
+  truth.sparse_ops_per_nnz = 1.5e-2;
   truth.per_call_overhead = 0.5;
   truth.validations_per_core = CostConstants{}.validations_per_core;
   return truth;
@@ -93,8 +93,8 @@ TEST(CostCalibrator, RecoversPlantedConstantsFromNoisyMeasurements) {
   expect_near_relative(fitted.dense_ops_per_node_sq,
                        truth.dense_ops_per_node_sq, 0.05,
                        "dense_ops_per_node_sq");
-  expect_near_relative(fitted.sparse_ops_per_node, truth.sparse_ops_per_node,
-                       0.05, "sparse_ops_per_node");
+  expect_near_relative(fitted.sparse_ops_per_nnz, truth.sparse_ops_per_nnz,
+                       0.05, "sparse_ops_per_nnz");
   expect_near_relative(fitted.per_call_overhead, truth.per_call_overhead,
                        0.05, "per_call_overhead");
   // Held fixed, never fitted.
@@ -113,8 +113,8 @@ TEST(CostCalibrator, NoiseFreeFitIsExactToRidgePrecision) {
   expect_near_relative(fitted.dense_ops_per_node_sq,
                        truth.dense_ops_per_node_sq, 1e-5,
                        "dense_ops_per_node_sq");
-  expect_near_relative(fitted.sparse_ops_per_node, truth.sparse_ops_per_node,
-                       1e-5, "sparse_ops_per_node");
+  expect_near_relative(fitted.sparse_ops_per_nnz, truth.sparse_ops_per_nnz,
+                       1e-5, "sparse_ops_per_nnz");
   expect_near_relative(fitted.per_call_overhead, truth.per_call_overhead,
                        1e-5, "per_call_overhead");
 }
@@ -134,9 +134,9 @@ TEST(CostCalibrator, ConvergenceHoldsAcrossSeeds) {
     expect_near_relative(fitted.dense_ops_per_node_sq,
                          truth.dense_ops_per_node_sq, 0.10,
                          "dense_ops_per_node_sq");
-    expect_near_relative(fitted.sparse_ops_per_node,
-                         truth.sparse_ops_per_node, 0.10,
-                         "sparse_ops_per_node");
+    expect_near_relative(fitted.sparse_ops_per_nnz,
+                         truth.sparse_ops_per_nnz, 0.10,
+                         "sparse_ops_per_nnz");
     expect_near_relative(fitted.per_call_overhead, truth.per_call_overhead,
                          0.10, "per_call_overhead");
   }
@@ -183,7 +183,7 @@ TEST(CostCalibrator, FittedConstantsStayPositiveOnDegenerateBatches) {
   }
   ASSERT_TRUE(calibrator.ready());
   const CostConstants fitted = calibrator.constants();
-  EXPECT_GT(fitted.sparse_ops_per_node, 0.0);
+  EXPECT_GT(fitted.sparse_ops_per_nnz, 0.0);
   EXPECT_GT(fitted.dense_ops_per_node_sq, 0.0);
   EXPECT_GT(fitted.per_request, 0.0);
   EXPECT_GT(fitted.per_call_overhead, 0.0);
@@ -204,7 +204,7 @@ TEST(CostCalibrator, SerializeRoundTripsExactly) {
   const CostConstants b = restored->constants();
   EXPECT_EQ(a.per_request, b.per_request);
   EXPECT_EQ(a.dense_ops_per_node_sq, b.dense_ops_per_node_sq);
-  EXPECT_EQ(a.sparse_ops_per_node, b.sparse_ops_per_node);
+  EXPECT_EQ(a.sparse_ops_per_nnz, b.sparse_ops_per_nnz);
   EXPECT_EQ(a.per_call_overhead, b.per_call_overhead);
 }
 
@@ -233,7 +233,7 @@ TEST(CostCalibrator, DeserializeRejectsDamage) {
       CostCalibrator::deserialize(good.substr(0, good.size() / 2))
           .has_value());  // truncation
   std::string wrong_schema = good;
-  const auto at = wrong_schema.find("thermo.calibration.v1");
+  const auto at = wrong_schema.find("thermo.calibration.v2");
   ASSERT_NE(at, std::string::npos);
   wrong_schema.replace(at, 21, "thermo.calibration.v9");
   EXPECT_FALSE(CostCalibrator::deserialize(wrong_schema).has_value());

@@ -1,0 +1,230 @@
+// Fill-reducing ordering: min_degree_ordering must be a deterministic
+// valid permutation that strictly cuts factor fill on grid-structured
+// patterns, symbolic_factor_nonzeros must agree with the numeric
+// factor's fill, dense rows must be withheld to the end, and the
+// ordered factor's solutions must match natural-order and dense
+// factorizations to the documented 1e-9 cross-backend tolerance.
+#include "linalg/ordering.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "linalg/cholesky.hpp"
+#include "linalg/sparse_cholesky.hpp"
+#include "util/rng.hpp"
+
+namespace thermo::linalg {
+namespace {
+
+/// Random sparse symmetric diagonally dominant (hence SPD) matrix, the
+/// same shape family as linalg_sparse_cholesky_test: a ring plus random
+/// symmetric couplings, grounded diagonal.
+SparseMatrix random_spd(Rng& rng, std::size_t n, std::size_t extra) {
+  std::vector<std::vector<double>> dense(n, std::vector<double>(n, 0.0));
+  auto couple = [&](std::size_t i, std::size_t j, double g) {
+    dense[i][j] -= g;
+    dense[j][i] -= g;
+    dense[i][i] += g;
+    dense[j][j] += g;
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    couple(i, (i + 1) % n, rng.uniform(0.5, 2.0));
+  }
+  for (std::size_t e = 0; e < extra; ++e) {
+    const auto i = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<long long>(n) - 1));
+    const auto j = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<long long>(n) - 1));
+    if (i == j) continue;
+    couple(i, j, rng.uniform(0.1, 1.0));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    dense[i][i] += rng.uniform(0.05, 0.5);
+  }
+  SparseMatrix::Builder builder(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (dense[i][j] != 0.0) builder.add(i, j, dense[i][j]);
+    }
+  }
+  return builder.build();
+}
+
+/// 5-point Laplacian of a `side` x `side` grid with grounding — the
+/// structure of a GridThermalModel die, where natural (row-major)
+/// ordering is bandwidth-bound and min-degree wins big.
+SparseMatrix grid_laplacian(std::size_t side) {
+  const std::size_t n = side * side;
+  SparseMatrix::Builder builder(n, n);
+  auto at = [side](std::size_t r, std::size_t c) { return r * side + c; };
+  std::vector<double> diag(n, 0.1);  // grounding keeps it SPD
+  for (std::size_t r = 0; r < side; ++r) {
+    for (std::size_t c = 0; c < side; ++c) {
+      const std::size_t i = at(r, c);
+      if (c + 1 < side) {
+        builder.add(i, at(r, c + 1), -1.0);
+        builder.add(at(r, c + 1), i, -1.0);
+        diag[i] += 1.0;
+        diag[at(r, c + 1)] += 1.0;
+      }
+      if (r + 1 < side) {
+        builder.add(i, at(r + 1, c), -1.0);
+        builder.add(at(r + 1, c), i, -1.0);
+        diag[i] += 1.0;
+        diag[at(r + 1, c)] += 1.0;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) builder.add(i, i, diag[i]);
+  return builder.build();
+}
+
+double max_rel_diff(const Vector& a, const Vector& b) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double scale =
+        std::max(1e-30, std::max(std::fabs(a[i]), std::fabs(b[i])));
+    worst = std::max(worst, std::fabs(a[i] - b[i]) / scale);
+  }
+  return worst;
+}
+
+TEST(MinDegreeOrderingTest, IsAValidPermutationAndDeterministic) {
+  Rng rng(17);
+  for (std::size_t n : {1u, 2u, 13u, 50u, 120u}) {
+    const SparseMatrix a = random_spd(rng, n, n);
+    const std::vector<std::size_t> perm = min_degree_ordering(a);
+    ASSERT_EQ(perm.size(), n);
+    std::vector<bool> seen(n, false);
+    for (const std::size_t p : perm) {
+      ASSERT_LT(p, n);
+      EXPECT_FALSE(seen[p]) << "index " << p << " eliminated twice";
+      seen[p] = true;
+    }
+    // Pure function of the pattern: a second call must be identical.
+    EXPECT_EQ(min_degree_ordering(a), perm) << "n=" << n;
+  }
+}
+
+TEST(MinDegreeOrderingTest, WithholdsDenseRowsToTheEnd) {
+  // A 200-node ring plus one hub coupled to every node: the hub's
+  // degree (199) is far past max(16, 4*sqrt(201)) ~ 57, so it must be
+  // withheld from the active graph and eliminated last.
+  const std::size_t n = 201;
+  const std::size_t hub = 0;
+  SparseMatrix::Builder builder(n, n);
+  std::vector<double> diag(n, 0.1);
+  auto couple = [&](std::size_t i, std::size_t j) {
+    builder.add(i, j, -1.0);
+    builder.add(j, i, -1.0);
+    diag[i] += 1.0;
+    diag[j] += 1.0;
+  };
+  for (std::size_t i = 1; i + 1 < n; ++i) couple(i, i + 1);
+  for (std::size_t i = 1; i < n; ++i) couple(hub, i);
+  for (std::size_t i = 0; i < n; ++i) builder.add(i, i, diag[i]);
+  const SparseMatrix a = builder.build();
+
+  const std::vector<std::size_t> perm = min_degree_ordering(a);
+  ASSERT_EQ(perm.size(), n);
+  EXPECT_EQ(perm.back(), hub);
+}
+
+TEST(SymbolicFactorTest, CountMatchesNumericFactorFill) {
+  Rng rng(23);
+  for (std::size_t n : {5u, 40u, 90u}) {
+    const SparseMatrix a = random_spd(rng, n, 2 * n);
+
+    const SparseCholeskyFactor natural(a, Ordering::kNatural);
+    EXPECT_EQ(symbolic_factor_nonzeros(a), natural.factor_nonzeros())
+        << "n=" << n;
+
+    const SparseCholeskyFactor ordered(a, Ordering::kMinDegree);
+    EXPECT_EQ(symbolic_factor_nonzeros(a, ordered.permutation()),
+              ordered.factor_nonzeros())
+        << "n=" << n;
+  }
+}
+
+TEST(SymbolicFactorTest, TridiagonalAndEmptyEdgeCases) {
+  SparseMatrix::Builder tri(6, 6);
+  for (std::size_t i = 0; i < 6; ++i) {
+    tri.add(i, i, 2.5);
+    if (i + 1 < 6) {
+      tri.add(i, i + 1, -1.0);
+      tri.add(i + 1, i, -1.0);
+    }
+  }
+  EXPECT_EQ(symbolic_factor_nonzeros(tri.build()), 5u);
+
+  SparseMatrix::Builder diag(3, 3);
+  for (std::size_t i = 0; i < 3; ++i) diag.add(i, i, 1.0);
+  EXPECT_EQ(symbolic_factor_nonzeros(diag.build()), 0u);
+}
+
+TEST(MinDegreeOrderingTest, StrictlyCutsGridFill) {
+  // The ISSUE acceptance bar: on a 64x64 grid pattern the ordered
+  // factor's fill must be strictly below natural order. Natural
+  // (banded) fill is ~side^3 = 260k here; min-degree lands ~60-80k.
+  const SparseMatrix a = grid_laplacian(64);
+
+  const SparseCholeskyFactor natural(a, Ordering::kNatural);
+  const SparseCholeskyFactor ordered(a, Ordering::kMinDegree);
+  EXPECT_LT(ordered.factor_nonzeros(), natural.factor_nonzeros());
+  // Not just barely: the ordering should cut grid fill by >= 2x.
+  EXPECT_LT(2 * ordered.factor_nonzeros(), natural.factor_nonzeros());
+
+  // The symbolic counter sees the same two numbers without factoring.
+  EXPECT_EQ(symbolic_factor_nonzeros(a), natural.factor_nonzeros());
+  EXPECT_EQ(symbolic_factor_nonzeros(a, ordered.permutation()),
+            ordered.factor_nonzeros());
+}
+
+TEST(OrderedFactorTest, AutoResolvesByNodeCount) {
+  Rng rng(31);
+  const SparseMatrix small = random_spd(rng, kOrderingAutoMinNodes - 1, 20);
+  const SparseCholeskyFactor small_factor(small);  // kAuto default
+  EXPECT_EQ(small_factor.ordering(), Ordering::kNatural);
+  EXPECT_TRUE(small_factor.permutation().empty());
+
+  const SparseMatrix large = random_spd(rng, kOrderingAutoMinNodes, 20);
+  const SparseCholeskyFactor large_factor(large);
+  EXPECT_EQ(large_factor.ordering(), Ordering::kMinDegree);
+  EXPECT_EQ(large_factor.permutation().size(), kOrderingAutoMinNodes);
+}
+
+TEST(OrderedFactorTest, OrderedNaturalAndDenseSolvesAgree) {
+  // Property test: on random SPD systems the ordered factor, the
+  // natural-order factor, and the dense Cholesky must agree to the
+  // documented 1e-9 cross-backend tolerance (docs/SOLVERS.md), and the
+  // ordered solve must be bit-reproducible across factorizations.
+  for (std::uint64_t seed : {2u, 8u, 21u}) {
+    Rng rng(seed);
+    for (std::size_t n : {30u, 80u, 150u}) {
+      const SparseMatrix a = random_spd(rng, n, 3 * n);
+      const SparseCholeskyFactor ordered(a, Ordering::kMinDegree);
+      const SparseCholeskyFactor natural(a, Ordering::kNatural);
+      const CholeskyFactor dense(a.to_dense());
+
+      Vector b(n);
+      for (double& v : b) v = rng.uniform(-5.0, 5.0);
+      const Vector x_ordered = ordered.solve(b);
+      EXPECT_LT(max_rel_diff(x_ordered, natural.solve(b)), 1e-9)
+          << "seed=" << seed << " n=" << n;
+      EXPECT_LT(max_rel_diff(x_ordered, dense.solve(b)), 1e-9)
+          << "seed=" << seed << " n=" << n;
+
+      const SparseCholeskyFactor again(a, Ordering::kMinDegree);
+      const Vector x_again = again.solve(b);
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_DOUBLE_EQ(x_ordered[i], x_again[i]);  // same perm, same bits
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace thermo::linalg

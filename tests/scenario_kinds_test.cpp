@@ -100,7 +100,7 @@ TEST(KindParse, DefaultKindIsStclSweep) {
 TEST(KindValidation, UnknownKind) {
   EXPECT_EQ(validation_error_of(R"({"kind":"bogus"})"),
             "scenario request: kind: unknown kind 'bogus' (expected "
-            "'stcl_sweep', 'ptrace', or 'chained')");
+            "'stcl_sweep', 'ptrace', 'chained', or 'grid_steady')");
 }
 
 TEST(KindValidation, PtraceObjectRequired) {

@@ -142,5 +142,46 @@ TEST(GridModel, SolveValidatesPowerVector) {
   EXPECT_THROW(grid.solve({1.0, -1.0, 0.0, 0.0}), InvalidArgument);
 }
 
+TEST(GridModel, BackendsAgreeAndSparseIsBitReproducible) {
+  // Grid solves route through SolverBackend + ThermalSolverCache like
+  // RCModel: the dense and sparse factors must agree to the documented
+  // 1e-9 relative tolerance, and repeated sparse solves (cached factor
+  // or a rebuilt one) must be bit-identical — the property the serve
+  // 1-vs-N-thread determinism smokes rely on.
+  const GridThermalModel grid(quad_floorplan(), PackageParams{},
+                              GridOptions{12, 12});
+  const std::vector<double> power = {6.0, 1.5, 0.0, 3.0};
+
+  const GridSteadyResult dense = grid.solve(power, SolverBackend::kDense);
+  const GridSteadyResult sparse = grid.solve(power, SolverBackend::kSparse);
+  ASSERT_EQ(dense.cell_temperature.size(), sparse.cell_temperature.size());
+  for (std::size_t cell = 0; cell < grid.cell_count(); ++cell) {
+    const double a = dense.cell_temperature[cell];
+    const double b = sparse.cell_temperature[cell];
+    EXPECT_NEAR(a, b, 1e-9 * std::max(1.0, std::fabs(a))) << "cell=" << cell;
+  }
+
+  const GridSteadyResult again = grid.solve(power, SolverBackend::kSparse);
+  for (std::size_t cell = 0; cell < grid.cell_count(); ++cell) {
+    EXPECT_DOUBLE_EQ(sparse.cell_temperature[cell],
+                     again.cell_temperature[cell]);
+  }
+  for (std::size_t b = 0; b < power.size(); ++b) {
+    EXPECT_DOUBLE_EQ(sparse.block_max_temperature[b],
+                     again.block_max_temperature[b]);
+    EXPECT_DOUBLE_EQ(sparse.block_mean_temperature[b],
+                     again.block_mean_temperature[b]);
+  }
+}
+
+TEST(GridModel, ConductancePatternIsSymmetric) {
+  // The stamped CSR must be structurally AND numerically symmetric —
+  // the precondition the fill-reducing ordering and the LDLᵗ factor
+  // rely on (satellite check riding the sparse-first assembly).
+  const GridThermalModel grid(nine_floorplan(), PackageParams{},
+                              GridOptions{10, 10});
+  EXPECT_TRUE(grid.conductance().is_symmetric(1e-9));
+}
+
 }  // namespace
 }  // namespace thermo::thermal

@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <vector>
+
 #include "linalg/cholesky.hpp"
 #include "linalg/lu.hpp"
 #include "test_helpers.hpp"
@@ -122,6 +125,85 @@ TEST(ThermalSolverCacheTest, InvalidateDropsOnlyThatModel) {
 
   // The handed-out factor stays usable after invalidation.
   EXPECT_NO_THROW(factor_a->solve(std::vector<double>(a.node_count(), 1.0)));
+}
+
+TEST(ThermalSolverCacheTest, GridModelFactorsHitTheCache) {
+  // GridThermalModel keys live in the same cache as RCModel keys
+  // (shared identity counter): repeat lookups must hit, and the dense
+  // and sparse flavours are separate entries.
+  ThermalSolverCache& cache = ThermalSolverCache::instance();
+  const GridThermalModel grid(quad_floorplan(), PackageParams{},
+                              GridOptions{6, 6});
+
+  cache.reset_stats();
+  const auto first = cache.sparse_cholesky(grid);
+  const auto second = cache.sparse_cholesky(grid);
+  EXPECT_EQ(first.get(), second.get());
+  const auto dense = cache.cholesky(grid);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 2u);  // one sparse factor + one dense factor
+  EXPECT_EQ(first->size(), grid.node_count());
+  EXPECT_EQ(dense->size(), grid.node_count());
+}
+
+TEST(ThermalSolverCacheTest, GridAndBlockModelsNeverAlias) {
+  // The shared identity counter guarantees a grid model and a block
+  // model can never collide on a key, whatever their construction
+  // order or node counts.
+  ThermalSolverCache& cache = ThermalSolverCache::instance();
+  const RCModel block(quad_floorplan(), PackageParams{});
+  const GridThermalModel grid(quad_floorplan(), PackageParams{},
+                              GridOptions{6, 6});
+  EXPECT_NE(block.identity(), grid.identity());
+  EXPECT_NE(
+      static_cast<const void*>(cache.sparse_cholesky(block).get()),
+      static_cast<const void*>(cache.sparse_cholesky(grid).get()));
+}
+
+TEST(ThermalSolverCacheTest, InvalidateDropsGridEntries) {
+  ThermalSolverCache& cache = ThermalSolverCache::instance();
+  const GridThermalModel grid(quad_floorplan(), PackageParams{},
+                              GridOptions{5, 5});
+  const RCModel block(nine_floorplan(), PackageParams{});
+  const auto grid_factor = cache.sparse_cholesky(grid);
+  cache.cholesky(grid);
+  cache.cholesky(block);
+
+  cache.invalidate(grid);
+  cache.reset_stats();
+  cache.sparse_cholesky(grid);  // must refactor
+  cache.cholesky(grid);         // must refactor
+  cache.cholesky(block);        // untouched by the grid invalidation
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.hits, 1u);
+
+  // Handed-out factors stay valid after invalidation.
+  EXPECT_NO_THROW(
+      grid_factor->solve(std::vector<double>(grid.node_count(), 1.0)));
+}
+
+TEST(ThermalSolverCacheTest, GridKeysParticipateInLruEviction) {
+  // A small-capacity cache cycled over many grid models must keep
+  // working (evicted keys simply refactor) — mirrors the RCModel LRU
+  // test for the grid key space.
+  ThermalSolverCache cache(2);
+  std::vector<std::unique_ptr<GridThermalModel>> models;
+  for (int i = 0; i < 4; ++i) {
+    models.push_back(std::make_unique<GridThermalModel>(
+        quad_floorplan(), PackageParams{}, GridOptions{4, 4}));
+    cache.sparse_cholesky(*models.back());
+  }
+  EXPECT_LE(cache.stats().entries, 2u);
+
+  // The oldest model was evicted: looking it up again refactors but
+  // still yields a correct, usable factor.
+  cache.reset_stats();
+  const auto refactored = cache.sparse_cholesky(*models.front());
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_NO_THROW(refactored->solve(
+      std::vector<double>(models.front()->node_count(), 1.0)));
 }
 
 TEST(ThermalSolverCacheTest, TransientStepperIsCachedPerDt) {
