@@ -26,7 +26,9 @@
 //             --schedule-policy fifo|ljf|edf|priority|srpt,
 //             --dedup on|off, --calibrate on|off,
 //             --summary-json PATH, --cache-dir PATH (persistent
-//             disk-backed result cache — docs/PERSIST.md)
+//             disk-backed result cache — docs/PERSIST.md),
+//             --trace PATH, --metrics-json PATH, --metrics
+//             (observability artifacts — docs/OBSERVABILITY.md)
 //   cache     Inspect or maintain a --cache-dir directory:
 //             `cache stats` prints store statistics, `cache verify`
 //             re-checksums every record (exit 1 when damage is found),
@@ -64,6 +66,8 @@
 #include "persist/segment_store.hpp"
 #include "floorplan/flp_io.hpp"
 #include "gen/generator.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "scenario/serve.hpp"
 #include "soc/alpha.hpp"
 #include "thermal/analyzer.hpp"
@@ -104,6 +108,11 @@ struct CommonArgs {
   std::string dedup = "on";
   std::string calibrate = "on";
   std::string summary_json_path;
+  // serve observability artifacts (docs/OBSERVABILITY.md) — none of
+  // these may change the results stream's bytes.
+  std::string trace_path;         // --trace: Chrome traceEvents JSON
+  std::string metrics_json_path;  // --metrics-json: registry snapshot
+  bool metrics_table = false;     // --metrics: stderr metric table
   std::string cache_dir;  // serve + cache (docs/PERSIST.md)
   // schedule/sweep/serve: thermal solver backend (docs/SOLVERS.md)
   std::string solver_backend = "auto";
@@ -172,6 +181,54 @@ bool parse_calibrate(const std::string& value) {
                         "' (expected 'on' or 'off')");
 }
 
+/// JSON numbers in a metrics snapshot are exact integers (<= 2^53), so
+/// a double round-trips losslessly into this decimal string.
+std::string metric_value(const JsonValue& value) {
+  return std::to_string(
+      static_cast<unsigned long long>(value.as_number()));
+}
+
+/// `serve --metrics` / `cache stats`: the registry snapshot as tables.
+/// Counters/gauges get metric|value rows; histograms get one row per
+/// metric with count + latency quantiles. `prefix` filters by metric
+/// name ("" = everything); rows with zero events are skipped so the
+/// table shows what this process actually did.
+void print_metrics_tables(std::ostream& out, const std::string& prefix) {
+  const JsonValue snapshot = obs::MetricsRegistry::instance().to_json();
+  Table scalars({"metric", "value"});
+  std::size_t scalar_rows = 0;
+  for (const char* section : {"counters", "gauges"}) {
+    if (const JsonValue* group = snapshot.find(section)) {
+      for (const auto& [name, value] : group->members()) {
+        if (name.rfind(prefix, 0) != 0 || value.as_number() == 0.0) continue;
+        scalars.add_row({name, metric_value(value)});
+        ++scalar_rows;
+      }
+    }
+  }
+  Table latencies({"metric", "count", "p50 [ns]", "p95 [ns]", "p99 [ns]",
+                   "max [ns]"});
+  std::size_t latency_rows = 0;
+  if (const JsonValue* group = snapshot.find("histograms")) {
+    for (const auto& [name, h] : group->members()) {
+      if (name.rfind(prefix, 0) != 0) continue;
+      const JsonValue* count = h.find("count");
+      if (count == nullptr || count->as_number() == 0.0) continue;
+      latencies.add_row({name, metric_value(*count),
+                         metric_value(*h.find("p50")),
+                         metric_value(*h.find("p95")),
+                         metric_value(*h.find("p99")),
+                         metric_value(*h.find("max"))});
+      ++latency_rows;
+    }
+  }
+  if (scalar_rows > 0) scalars.print(out);
+  if (latency_rows > 0) latencies.print(out);
+  if (scalar_rows == 0 && latency_rows == 0) {
+    out << "(no metrics recorded)\n";
+  }
+}
+
 void print_global_usage(std::ostream& out) {
   out << "usage: thermosched <command> [options]\n"
          "\n"
@@ -192,7 +249,8 @@ void print_global_usage(std::ostream& out) {
          "            [--schedule-policy fifo|ljf|edf|priority|srpt]\n"
          "            [--dedup on|off] [--calibrate on|off]\n"
          "            [--summary-json PATH] [--solver-backend B]\n"
-         "            [--cache-dir PATH]\n"
+         "            [--cache-dir PATH] [--trace PATH]\n"
+         "            [--metrics-json PATH] [--metrics]\n"
          "  cache     Inspect/maintain a --cache-dir result cache\n"
          "            (docs/PERSIST.md): stats | verify | compact\n"
          "            --cache-dir PATH\n"
@@ -226,6 +284,11 @@ void print_global_usage(std::ostream& out) {
          "output bytes.\n"
          "--summary-json writes per-batch execution stats (makespan,\n"
          "tail latency, memo hit rate, per-request timings) to PATH.\n"
+         "--trace records per-thread spans for the batch and writes\n"
+         "Chrome traceEvents JSON to PATH; --metrics-json writes the\n"
+         "process-wide counter/histogram snapshot; --metrics prints it\n"
+         "as stderr tables. Observability never changes the output\n"
+         "bytes (docs/OBSERVABILITY.md).\n"
          "--cache-dir persists result records to a crash-safe on-disk\n"
          "store keyed by request content: a restarted server answers\n"
          "previously computed requests from disk without executing them\n"
@@ -434,8 +497,17 @@ int cmd_serve(const CommonArgs& args) {
     options.calibrator = calibrator.get();
   }
 
+  // --trace records per-thread spans for exactly the batch window; the
+  // recorder is started before the first request is parsed and stopped
+  // before any artifact is written, so the trace never observes its own
+  // export (docs/OBSERVABILITY.md).
+  obs::TraceRecorder& trace = obs::TraceRecorder::instance();
+  const bool tracing = !args.trace_path.empty();
+  if (tracing) trace.start();
+
   const scenario::ServeSummary summary =
       scenario::serve_stream(in, out, runner, options);
+  if (tracing) trace.stop();
 
   if (calibrator != nullptr && !calibration_path.empty()) {
     try {
@@ -465,6 +537,34 @@ int cmd_serve(const CommonArgs& args) {
     summary_file.flush();
     if (!summary_file.good()) {
       throw Error("failed writing summary to '" + args.summary_json_path +
+                  "'");
+    }
+  }
+
+  // Observability artifacts are summary-like: never part of the
+  // deterministic results stream, so each gets its own file.
+  if (tracing) {
+    std::ofstream trace_file(args.trace_path);
+    if (!trace_file) {
+      throw Error("cannot open trace file '" + args.trace_path +
+                  "' for writing");
+    }
+    trace_file << trace.snapshot_json().dump() << '\n';
+    trace_file.flush();
+    if (!trace_file.good()) {
+      throw Error("failed writing trace to '" + args.trace_path + "'");
+    }
+  }
+  if (!args.metrics_json_path.empty()) {
+    std::ofstream metrics_file(args.metrics_json_path);
+    if (!metrics_file) {
+      throw Error("cannot open metrics file '" + args.metrics_json_path +
+                  "' for writing");
+    }
+    metrics_file << obs::MetricsRegistry::instance().to_json().dump() << '\n';
+    metrics_file.flush();
+    if (!metrics_file.good()) {
+      throw Error("failed writing metrics to '" + args.metrics_json_path +
                   "'");
     }
   }
@@ -502,6 +602,9 @@ int cmd_serve(const CommonArgs& args) {
               << summary.deadline_requests << " met";
   }
   std::cerr << '\n';
+  // --metrics: the whole registry snapshot as stderr tables, same
+  // channel as the one-line summary (stdout stays the results stream).
+  if (args.metrics_table) print_metrics_tables(std::cerr, "");
   if (args.out_path == "-") return kExitOk;
   // A short confirmation so the smoke harness (non-empty stdout) and
   // humans both see where the records went.
@@ -583,6 +686,10 @@ int cmd_cache(const std::string& action, const CommonArgs& args) {
     table.add_row({"damaged frames", std::to_string(stats.damaged_at_open)});
     if (args.csv) table.print_csv(std::cout);
     else table.print(std::cout);
+    // The persist latency histograms this process recorded — for
+    // `cache stats` that is the recovery scan that just opened the
+    // store (docs/OBSERVABILITY.md "Metric catalogue").
+    if (!args.csv) print_metrics_tables(std::cout, "persist.");
     return kExitOk;
   }
 
@@ -728,6 +835,20 @@ int main(int argc, char** argv) {
                    "Write per-batch execution stats (makespan, tail "
                    "latency, memo hit rate, per-request timings) to PATH",
                    &args.summary_json_path);
+    cli.add_string("trace",
+                   "Record per-thread spans for the batch and write "
+                   "Chrome traceEvents JSON to PATH (load in "
+                   "chrome://tracing or Perfetto; output bytes "
+                   "unchanged — docs/OBSERVABILITY.md)",
+                   &args.trace_path);
+    cli.add_string("metrics-json",
+                   "Write the process-wide metrics snapshot (counters + "
+                   "latency histograms) to PATH after the batch",
+                   &args.metrics_json_path);
+    cli.add_flag("metrics",
+                 "Print the metrics snapshot as stderr tables after the "
+                 "batch summary",
+                 &args.metrics_table);
   }
   if (is_serve || is_cache) {
     cli.add_string("cache-dir",

@@ -1,0 +1,300 @@
+// Observability-layer record: what does instrumentation cost, and does
+// it record the truth without touching the output?
+//
+//   ./build/bench/bench_obs                        # table
+//   ./build/bench/bench_obs --json BENCH_obs.json
+//
+// One seeded gen stream (duplicates included) is served repeatedly with
+// observability fully OFF (metrics disabled, no trace) and fully ON
+// (metrics + an active trace recorder); min wall time per mode is
+// compared. Every run — on, off, 1 thread, N threads — must produce the
+// reference bytes.
+//
+// The JSON record (schema "thermo.bench_obs.v1") is CI-gated:
+//   * overhead.ok: min instrumented wall <= min uninstrumented wall
+//     * 1.05 + 0.05 s slack — the <=5% observability budget. Enforced
+//     only when the run is big enough to measure (--count >= 1000 and
+//     --reps >= 2); smaller smoke runs record the ratio unenforced;
+//   * deterministic: observability never changes output bytes;
+//   * counters_exact: after a registry reset and one fresh serve, the
+//     registry's counters equal the summary's own stats EXACTLY —
+//     scenario.requests == requests, dispatch.memo_hits == memo hits ==
+//     the generator's duplicate count, dispatch.executed == executed;
+//   * trace.ok: the recorded trace parses with util::json, every
+//     thread's spans are stack-balanced with matching names, and
+//     per-thread timestamps are non-decreasing (the in-process version
+//     of tools/check_trace.py);
+//   * disk.hits_exact (only with --cache-dir): a warm re-serve through a
+//     fresh DiskResultMemo must bump dispatch.disk_memo.hits by exactly
+//     the summary's disk_hits count.
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dispatch/disk_result_memo.hpp"
+#include "gen/generator.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "scenario/serve.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace thermo;
+
+struct RunResult {
+  std::string output;
+  scenario::ServeSummary summary;
+};
+
+RunResult run_serve(const std::string& requests, std::size_t threads,
+                    dispatch::DiskResultMemo* disk_memo = nullptr) {
+  std::istringstream in(requests);
+  std::ostringstream out;
+  scenario::ScenarioRunner runner;
+  scenario::ServeOptions options;
+  options.threads = threads;
+  options.disk_memo = disk_memo;
+  RunResult result;
+  result.summary = scenario::serve_stream(in, out, runner, options);
+  result.output = out.str();
+  return result;
+}
+
+/// In-process check_trace: balanced B/E spans with matching names and
+/// non-decreasing per-tid timestamps, on the parsed traceEvents array.
+bool trace_is_valid(const JsonValue& snapshot, std::size_t* events_out,
+                    std::size_t* spans_out) {
+  const JsonValue* events = snapshot.find("traceEvents");
+  if (events == nullptr || !events->is_array()) return false;
+  std::map<double, double> last_ts;
+  std::map<double, std::vector<std::string>> open;
+  std::size_t spans = 0;
+  for (const JsonValue& event : events->items()) {
+    const JsonValue* tid_v = event.find("tid");
+    const JsonValue* ts_v = event.find("ts");
+    const JsonValue* ph_v = event.find("ph");
+    const JsonValue* name_v = event.find("name");
+    if (tid_v == nullptr || ts_v == nullptr || ph_v == nullptr ||
+        name_v == nullptr) {
+      return false;
+    }
+    const double tid = tid_v->as_number();
+    const double ts = ts_v->as_number();
+    if (last_ts.count(tid) != 0 && ts < last_ts[tid]) return false;
+    last_ts[tid] = ts;
+    const std::string& phase = ph_v->as_string();
+    if (phase == "B") {
+      open[tid].push_back(name_v->as_string());
+      ++spans;
+    } else if (phase == "E") {
+      if (open[tid].empty() || open[tid].back() != name_v->as_string()) {
+        return false;
+      }
+      open[tid].pop_back();
+    }
+  }
+  for (const auto& [tid, stack] : open) {
+    if (!stack.empty()) return false;
+  }
+  *events_out = events->items().size();
+  *spans_out = spans;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long long count = 2000;
+  long long reps = 3;
+  long long threads = 4;
+  long long seed = 17;
+  double dup_rate = 0.25;
+  std::string cache_dir;
+  std::string json_path;
+  CliParser cli("bench_obs",
+                "Observability record: instrumentation overhead, metric "
+                "exactness, trace validity on a generated serve stream");
+  cli.add_int("count", "Requests in the generated stream", &count);
+  cli.add_int("reps", "Timed repetitions per mode (min wins)", &reps);
+  cli.add_int("threads", "Worker threads", &threads);
+  cli.add_int("seed", "Generator seed", &seed);
+  cli.add_double("dup", "Duplicate-line rate in [0, 1)", &dup_rate);
+  cli.add_string("cache-dir",
+                 "Scratch dir for the disk-memo hit-counter check "
+                 "(skipped when empty)",
+                 &cache_dir);
+  cli.add_string("json", "Write BENCH_obs.json-style record here",
+                 &json_path);
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+    THERMO_REQUIRE(count >= 50, "--count must be >= 50");
+    THERMO_REQUIRE(reps >= 1, "--reps must be >= 1");
+    THERMO_REQUIRE(threads >= 1, "--threads must be >= 1");
+
+    gen::GenConfig config;
+    config.seed = static_cast<std::uint64_t>(seed);
+    config.count = static_cast<std::size_t>(count);
+    config.dup_rate = dup_rate;
+    config.order = gen::OrderPattern::kShuffled;
+    const gen::GeneratedStream stream = gen::generate_stream(config);
+    std::ostringstream request_buffer;
+    gen::write_stream(stream, request_buffer);
+    const std::string requests = request_buffer.str();
+
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::instance();
+    obs::TraceRecorder& recorder = obs::TraceRecorder::instance();
+    const std::size_t workers = static_cast<std::size_t>(threads);
+
+    // Byte reference: 1 thread, observability on (the default state).
+    const RunResult reference = run_serve(requests, 1);
+    bool deterministic = reference.summary.failed == 0;
+
+    // Timed reps, alternating OFF/ON inside each rep so cache warmth
+    // and CPU-frequency drift hit both modes evenly. ON = metrics
+    // enabled AND an active trace recorder — the full-cost path.
+    double off_min_s = 0.0;
+    double on_min_s = 0.0;
+    JsonValue last_trace = JsonValue::object();
+    for (long long rep = 0; rep < reps; ++rep) {
+      obs::set_enabled(false);
+      const RunResult off = run_serve(requests, workers);
+      obs::set_enabled(true);
+      deterministic = deterministic && off.output == reference.output;
+      if (rep == 0 || off.summary.wall_seconds < off_min_s) {
+        off_min_s = off.summary.wall_seconds;
+      }
+
+      recorder.start();
+      const RunResult on = run_serve(requests, workers);
+      recorder.stop();
+      deterministic = deterministic && on.output == reference.output;
+      if (rep == 0 || on.summary.wall_seconds < on_min_s) {
+        on_min_s = on.summary.wall_seconds;
+      }
+      if (rep == reps - 1) last_trace = recorder.snapshot_json();
+    }
+    const double overhead_ratio =
+        off_min_s > 0.0 ? (on_min_s - off_min_s) / off_min_s : 0.0;
+    // Sub-second batches drown in scheduler noise, so the 5% gate gets
+    // a 50 ms absolute slack and is only enforced on real runs.
+    const bool gate_enforced = count >= 1000 && reps >= 2;
+    const bool overhead_ok = on_min_s <= off_min_s * 1.05 + 0.05;
+
+    // Trace validity on the last instrumented run — round-tripped
+    // through dump/parse so the gate covers the exported bytes.
+    std::size_t trace_events = 0;
+    std::size_t trace_spans = 0;
+    const bool trace_ok = trace_is_valid(parse_json(last_trace.dump()),
+                                         &trace_events, &trace_spans);
+
+    // Counter exactness: a registry reset, one fresh serve, and the
+    // registry must agree with the summary event for event.
+    registry.reset();
+    const RunResult counted = run_serve(requests, workers);
+    const scenario::ServeSummary& summary = counted.summary;
+    deterministic = deterministic && counted.output == reference.output;
+    const bool counters_exact =
+        registry.counter("scenario.requests").value() == summary.requests &&
+        summary.requests == static_cast<std::size_t>(count) &&
+        registry.counter("dispatch.memo_hits").value() ==
+            summary.memo_hits &&
+        summary.memo_hits == stream.stats.duplicates &&
+        registry.counter("dispatch.executed").value() == summary.executed &&
+        registry.histogram("dispatch.exec_ns").count() == summary.executed;
+
+    // Disk-memo phase (needs a scratch dir): cold serve populates the
+    // cache, then a warm serve through a FRESH memo must answer from
+    // disk and bump dispatch.disk_memo.hits by exactly disk_hits.
+    bool disk_checked = false;
+    bool disk_exact = true;
+    std::size_t disk_hits = 0;
+    if (!cache_dir.empty()) {
+      disk_checked = true;
+      {
+        dispatch::DiskResultMemo cold(cache_dir);
+        const RunResult seeded = run_serve(requests, workers, &cold);
+        deterministic = deterministic && seeded.output == reference.output;
+      }
+      const std::uint64_t hits_before =
+          registry.counter("dispatch.disk_memo.hits").value();
+      dispatch::DiskResultMemo warm(cache_dir);
+      const RunResult warmed = run_serve(requests, workers, &warm);
+      deterministic = deterministic && warmed.output == reference.output;
+      disk_hits = warmed.summary.disk_hits;
+      const std::uint64_t hit_delta =
+          registry.counter("dispatch.disk_memo.hits").value() - hits_before;
+      disk_exact = disk_hits > 0 && hit_delta == disk_hits;
+    }
+
+    std::cout << "obs bench: " << count << " requests ("
+              << stream.stats.duplicates << " duplicates), " << workers
+              << " threads, " << reps << " reps\n"
+              << "  wall min: off " << format_double(off_min_s, 3)
+              << " s, on " << format_double(on_min_s, 3) << " s (overhead "
+              << format_double(overhead_ratio * 100.0, 1) << "%, gate "
+              << (gate_enforced ? "enforced" : "recorded") << ", "
+              << (overhead_ok ? "ok" : "EXCEEDED") << ")\n"
+              << "  deterministic: " << (deterministic ? "yes" : "NO")
+              << ", counters exact: " << (counters_exact ? "yes" : "NO")
+              << ", trace: " << trace_events << " events, " << trace_spans
+              << " spans, " << (trace_ok ? "balanced" : "INVALID") << '\n';
+    if (disk_checked) {
+      std::cout << "  disk memo: " << disk_hits << " hits, counter "
+                << (disk_exact ? "exact" : "MISMATCH") << '\n';
+    }
+
+    if (!json_path.empty()) {
+      JsonValue record = JsonValue::object();
+      record.set("schema", JsonValue::string("thermo.bench_obs.v1"));
+      record.set("count", JsonValue::number(static_cast<double>(count)));
+      record.set("reps", JsonValue::number(static_cast<double>(reps)));
+      record.set("threads",
+                 JsonValue::number(static_cast<double>(workers)));
+      record.set("duplicates", JsonValue::number(static_cast<double>(
+                                   stream.stats.duplicates)));
+      JsonValue overhead = JsonValue::object();
+      overhead.set("off_wall_s", JsonValue::number(off_min_s));
+      overhead.set("on_wall_s", JsonValue::number(on_min_s));
+      overhead.set("ratio", JsonValue::number(overhead_ratio));
+      overhead.set("gate_enforced", JsonValue::boolean(gate_enforced));
+      overhead.set("ok", JsonValue::boolean(overhead_ok));
+      record.set("overhead", std::move(overhead));
+      record.set("deterministic", JsonValue::boolean(deterministic));
+      record.set("counters_exact", JsonValue::boolean(counters_exact));
+      JsonValue trace = JsonValue::object();
+      trace.set("events",
+                JsonValue::number(static_cast<double>(trace_events)));
+      trace.set("spans",
+                JsonValue::number(static_cast<double>(trace_spans)));
+      trace.set("ok", JsonValue::boolean(trace_ok));
+      record.set("trace", std::move(trace));
+      JsonValue disk = JsonValue::object();
+      disk.set("checked", JsonValue::boolean(disk_checked));
+      disk.set("hits",
+               JsonValue::number(static_cast<double>(disk_hits)));
+      disk.set("hits_exact", JsonValue::boolean(disk_exact));
+      record.set("disk", std::move(disk));
+      std::ofstream json_file(json_path);
+      THERMO_REQUIRE(static_cast<bool>(json_file),
+                     "cannot open --json path " + json_path);
+      json_file << record.dump() << '\n';
+      std::cout << "wrote " << json_path << '\n';
+    }
+
+    const bool failed = !deterministic || !counters_exact || !trace_ok ||
+                        (gate_enforced && !overhead_ok) ||
+                        (disk_checked && !disk_exact);
+    return failed ? 1 : 0;
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -1,0 +1,100 @@
+# Observability smoke: tracing and metrics may never change what serve
+# writes. A generated stream is served untraced on 1 thread (reference),
+# then with --trace/--metrics-json/--metrics on 1 and 4 threads — every
+# run must reproduce the reference bytes exactly. The recorded trace
+# must pass tools/check_trace.py (balanced B/E spans, per-thread
+# monotonic timestamps) and the metrics snapshot must contain the
+# dispatch/scenario counters (docs/OBSERVABILITY.md).
+#
+# Usage: cmake -DSCHED_BIN=<thermosched> -DWORK_DIR=<scratch dir>
+#              -DPYTHON_BIN=<python3> -DCHECK_TRACE=<check_trace.py>
+#              -P RunTraceServeSmoke.cmake
+if(NOT SCHED_BIN OR NOT WORK_DIR OR NOT PYTHON_BIN OR NOT CHECK_TRACE)
+  message(FATAL_ERROR
+    "SCHED_BIN, WORK_DIR, PYTHON_BIN, and CHECK_TRACE must be set")
+endif()
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(requests "${WORK_DIR}/requests.jsonl")
+set(reference "${WORK_DIR}/results_untraced_t1.jsonl")
+set(count 80)
+
+# Duplicates exercise the memo-hit instrumentation; the default mix
+# covers the per-kind scenario spans.
+execute_process(
+  COMMAND "${SCHED_BIN}" gen --count ${count} --seed 11 --dup 0.2
+          --out "${requests}"
+  ERROR_VARIABLE gen_err
+  RESULT_VARIABLE gen_rc)
+if(NOT gen_rc EQUAL 0)
+  message(FATAL_ERROR "thermosched gen exited with ${gen_rc}\n${gen_err}")
+endif()
+
+# Reference: untraced, 1 thread.
+execute_process(
+  COMMAND "${SCHED_BIN}" serve --in "${requests}" --out "${reference}"
+          --threads 1
+  ERROR_VARIABLE serve_err
+  RESULT_VARIABLE serve_rc)
+if(NOT serve_rc EQUAL 0)
+  message(FATAL_ERROR "reference serve exited with ${serve_rc}\n${serve_err}")
+endif()
+
+# Traced runs must reproduce the reference bytes for 1 and 4 threads.
+foreach(threads 1 4)
+  set(outfile "${WORK_DIR}/results_traced_t${threads}.jsonl")
+  set(trace "${WORK_DIR}/trace_t${threads}.json")
+  set(metrics "${WORK_DIR}/metrics_t${threads}.json")
+  execute_process(
+    COMMAND "${SCHED_BIN}" serve --in "${requests}" --out "${outfile}"
+            --threads ${threads} --trace "${trace}"
+            --metrics-json "${metrics}" --metrics
+    ERROR_VARIABLE serve_err
+    RESULT_VARIABLE serve_rc)
+  if(NOT serve_rc EQUAL 0)
+    message(FATAL_ERROR
+      "traced serve --threads ${threads} exited with ${serve_rc}\n"
+      "${serve_err}")
+  endif()
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files "${reference}" "${outfile}"
+    RESULT_VARIABLE cmp_rc)
+  if(NOT cmp_rc EQUAL 0)
+    message(FATAL_ERROR
+      "traced serve --threads ${threads} changed the output bytes "
+      "(${reference} vs ${outfile}) — observability broke the "
+      "determinism contract")
+  endif()
+
+  # The trace must be structurally valid: balanced spans, monotonic
+  # per-thread timestamps, and enough events to prove instrumentation
+  # actually fired (each request contributes several spans).
+  execute_process(
+    COMMAND "${PYTHON_BIN}" "${CHECK_TRACE}" "${trace}"
+            --min-events ${count}
+    OUTPUT_VARIABLE check_out
+    ERROR_VARIABLE check_err
+    RESULT_VARIABLE check_rc)
+  if(NOT check_rc EQUAL 0)
+    message(FATAL_ERROR
+      "check_trace.py rejected ${trace}:\n${check_out}${check_err}")
+  endif()
+
+  # The metrics snapshot must carry the pipeline's counters.
+  file(READ "${metrics}" metrics_text)
+  foreach(needle
+      "\"dispatch.jobs\""
+      "\"dispatch.exec_ns\""
+      "\"dispatch.queue_wait_ns\""
+      "\"scenario.requests\""
+      "\"thermal.factor_ns\"")
+    string(FIND "${metrics_text}" "${needle}" found)
+    if(found EQUAL -1)
+      message(FATAL_ERROR
+        "metrics snapshot ${metrics} is missing ${needle}")
+    endif()
+  endforeach()
+endforeach()
+
+message(STATUS
+  "trace serve smoke OK: traced {1,4}-thread runs byte-identical to the "
+  "untraced reference, traces balanced and monotonic, metrics present")

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/metrics.hpp"
+
 namespace thermo::dispatch {
 
 namespace {
@@ -34,6 +36,9 @@ std::optional<std::string> DiskResultMemo::find(std::string_view key) {
   }
   if (!record) return std::nullopt;
   disk_hits_.fetch_add(1, std::memory_order_relaxed);
+  static obs::Counter& disk_hit_metric =
+      obs::MetricsRegistry::instance().counter("dispatch.disk_memo.hits");
+  disk_hit_metric.add();
   // Promote: repeat lookups of a hot key should not re-read and
   // re-checksum the segment file every time.
   ResultMemo::insert(key, *record);

@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <ctime>
 #include <string_view>
 #include <thread>
 #include <unordered_map>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sweep/thread_pool.hpp"
 #include "util/error.hpp"
 
@@ -29,6 +32,35 @@ double thread_cpu_seconds() {
   return 0.0;
 }
 
+/// Engine metrics, resolved once per process (the registry hands out
+/// stable references; docs/OBSERVABILITY.md catalogues the names).
+struct EngineMetrics {
+  obs::Counter& batches;
+  obs::Counter& jobs;
+  obs::Counter& executed;
+  obs::Counter& memo_hits;
+  obs::Histogram& queue_wait_ns;
+  obs::Histogram& exec_ns;
+  obs::Histogram& policy_sort_ns;
+};
+
+EngineMetrics& engine_metrics() {
+  auto& registry = obs::MetricsRegistry::instance();
+  static EngineMetrics metrics{registry.counter("dispatch.batches"),
+                               registry.counter("dispatch.jobs"),
+                               registry.counter("dispatch.executed"),
+                               registry.counter("dispatch.memo_hits"),
+                               registry.histogram("dispatch.queue_wait_ns"),
+                               registry.histogram("dispatch.exec_ns"),
+                               registry.histogram("dispatch.policy_sort_ns")};
+  return metrics;
+}
+
+std::uint64_t to_ns(std::chrono::steady_clock::duration d) {
+  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(d);
+  return ns.count() > 0 ? static_cast<std::uint64_t>(ns.count()) : 0;
+}
+
 }  // namespace
 
 EngineStats run_batch(const std::vector<Job>& jobs,
@@ -38,6 +70,8 @@ EngineStats run_batch(const std::vector<Job>& jobs,
   EngineStats stats;
   stats.jobs = n;
   stats.timings.resize(n);
+  EngineMetrics& metrics = engine_metrics();
+  obs::TraceSpan batch_span("dispatch.batch");
 
   // Dedup planning runs on the calling thread, before any worker
   // starts: which jobs execute, which are answered from the memo, and
@@ -78,15 +112,19 @@ EngineStats run_batch(const std::vector<Job>& jobs,
   }
 
   WorkQueue queue(options.policy);
-  for (const std::size_t i : scheduled) {
-    WorkItem item;
-    item.index = i;
-    item.cost = jobs[i].cost;
-    item.deadline = jobs[i].deadline;
-    item.priority = jobs[i].priority;
-    queue.push(item);
+  {
+    obs::TraceSpan sort_span("dispatch.policy_sort");
+    obs::ScopedTimer sort_timer(metrics.policy_sort_ns);
+    for (const std::size_t i : scheduled) {
+      WorkItem item;
+      item.index = i;
+      item.cost = jobs[i].cost;
+      item.deadline = jobs[i].deadline;
+      item.priority = jobs[i].priority;
+      queue.push(item);
+    }
+    queue.seal();
   }
-  queue.seal();
 
   // Execution-window origin: done_seconds and the makespan share this
   // timepoint, so "done before deadline" means "within deadline seconds
@@ -96,11 +134,21 @@ EngineStats run_batch(const std::vector<Job>& jobs,
   const auto run_one = [&](std::size_t i) {
     const auto wall_start = std::chrono::steady_clock::now();
     const double cpu_start = thread_cpu_seconds();
-    std::string record = execute(i);
+    std::string record;
+    {
+      obs::TraceSpan exec_span("dispatch.exec");
+      record = execute(i);
+    }
     const auto done = std::chrono::steady_clock::now();
     stats.timings[i].cpu_seconds = thread_cpu_seconds() - cpu_start;
     stats.timings[i].wall_seconds =
         std::chrono::duration<double>(done - wall_start).count();
+    // Queue wait shares done_seconds' clock origin: how long placement
+    // (plus worker contention) held this job back.
+    stats.timings[i].wait_seconds =
+        std::chrono::duration<double>(wall_start - exec_start).count();
+    metrics.queue_wait_ns.record(to_ns(wall_start - exec_start));
+    metrics.exec_ns.record(to_ns(done - wall_start));
     const double done_seconds =
         std::chrono::duration<double>(done - exec_start).count();
     stats.timings[i].done_seconds = done_seconds;
@@ -144,6 +192,10 @@ EngineStats run_batch(const std::vector<Job>& jobs,
   stats.executed = scheduled.size();
   stats.max_buffered = writer.max_buffered();
   writer.finish();
+  metrics.batches.add();
+  metrics.jobs.add(n);
+  metrics.executed.add(stats.executed);
+  metrics.memo_hits.add(stats.memo_hits);
   return stats;
 }
 

@@ -62,6 +62,10 @@ struct JobTiming {
   double wall_seconds = 0.0;  ///< 0 for memoized jobs
   double cpu_seconds = 0.0;   ///< executing thread's CPU time (0 where
                               ///< the platform offers no thread clock)
+  /// Queue wait: execution-window start to this job's execution start,
+  /// in the same steady clock as done_seconds (0 for memo hits — they
+  /// never queue). What the scheduling policy actually controls.
+  double wait_seconds = 0.0;
   /// Completion offset from the start of the execution window: when
   /// this job's record existed, in the same clock deadlines are
   /// expressed in. 0 for planning-time memo hits (their record exists

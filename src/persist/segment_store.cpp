@@ -5,6 +5,8 @@
 #include <cstring>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/hash.hpp"
 
@@ -226,6 +228,32 @@ std::optional<std::uint32_t> parse_segment_name(std::string_view name) {
   return seq;
 }
 
+/// Store observability (docs/OBSERVABILITY.md): what each disk-facing
+/// operation costs, fsync separated out because it dominates
+/// SyncMode::kEveryRecord appends — the numbers `thermosched cache
+/// stats` reports for tuning.
+struct StoreMetrics {
+  obs::Counter& appends;
+  obs::Counter& get_hits;
+  obs::Counter& get_misses;
+  obs::Histogram& append_ns;
+  obs::Histogram& fsync_ns;
+  obs::Histogram& open_scan_ns;
+  obs::Histogram& compact_ns;
+};
+
+StoreMetrics& store_metrics() {
+  auto& registry = obs::MetricsRegistry::instance();
+  static StoreMetrics metrics{registry.counter("persist.appends"),
+                              registry.counter("persist.get_hits"),
+                              registry.counter("persist.get_misses"),
+                              registry.histogram("persist.append_ns"),
+                              registry.histogram("persist.fsync_ns"),
+                              registry.histogram("persist.open_scan_ns"),
+                              registry.histogram("persist.compact_ns")};
+  return metrics;
+}
+
 }  // namespace
 
 std::string SegmentStore::segment_name(std::uint32_t seq) {
@@ -262,6 +290,8 @@ SegmentStore::~SegmentStore() {
 }
 
 void SegmentStore::open_scan() {
+  obs::TraceSpan scan_span("persist.scan");
+  obs::ScopedTimer scan_timer(store_metrics().open_scan_ns);
   if (!fs_.exists(dir_)) {
     if (!options_.create_if_missing) {
       throw IoError("no cache directory at '" + dir_ + "'");
@@ -375,9 +405,14 @@ bool SegmentStore::put(std::string_view key, std::string_view value) {
   }
   const std::string frame = encode_frame(key, value);
   try {
+    obs::TraceSpan append_span("persist.append");
+    obs::ScopedTimer append_timer(store_metrics().append_ns);
     ensure_active();
     active_->append(frame);
-    if (options_.sync_mode == SyncMode::kEveryRecord) active_->sync();
+    if (options_.sync_mode == SyncMode::kEveryRecord) {
+      obs::ScopedTimer fsync_timer(store_metrics().fsync_ns);
+      active_->sync();
+    }
   } catch (...) {
     // The segment now (possibly) ends in a partial frame. Never append
     // after a tail we are not certain of: abandon the segment — its torn
@@ -391,6 +426,7 @@ bool SegmentStore::put(std::string_view key, std::string_view value) {
   active_offset_ += frame.size();
   segment_bytes_[active_seq_] = active_offset_;
   ++stats_.appends;
+  store_metrics().appends.add();
   if (active_offset_ >= options_.segment_size_cap) {
     try {
       rotate();
@@ -407,6 +443,7 @@ std::optional<std::string> SegmentStore::get(std::string_view key) {
   const auto it = index_.find(std::string(key));
   if (it == index_.end()) {
     ++stats_.get_misses;
+    store_metrics().get_misses.add();
     return std::nullopt;
   }
   const Location loc = it->second;
@@ -429,10 +466,12 @@ std::optional<std::string> SegmentStore::get(std::string_view key) {
     // violate the never-wrong-bytes contract; degrade to a miss.
     ++stats_.read_corruptions;
     ++stats_.get_misses;
+    store_metrics().get_misses.add();
     index_.erase(it);
     return std::nullopt;
   }
   ++stats_.get_hits;
+  store_metrics().get_hits.add();
   return std::string(view.value);
 }
 
@@ -463,6 +502,8 @@ SegmentStore::VerifyReport SegmentStore::verify() {
 }
 
 std::size_t SegmentStore::compact() {
+  obs::TraceSpan compact_span("persist.compact");
+  obs::ScopedTimer compact_timer(store_metrics().compact_ns);
   const std::lock_guard<std::mutex> lock(mutex_);
   if (active_) {
     active_->sync();

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "core/safety_checker.hpp"
 #include "core/thermal_scheduler.hpp"
 #include "floorplan/flp_io.hpp"
@@ -23,6 +25,43 @@ namespace {
 /// 20..100 STCL axis.
 double auto_stc_scale(SocKind kind) {
   return kind == SocKind::kAlpha ? soc::alpha_stc_scale() : 2.8e-3;
+}
+
+/// Per-kind run observability: execution count + wall histogram + the
+/// span name (a static literal, as the trace ring requires).
+struct KindMetrics {
+  obs::Counter& runs;
+  obs::Histogram& run_ns;
+  const char* span_name;
+};
+
+KindMetrics& kind_metrics(RequestKind kind) {
+  auto& registry = obs::MetricsRegistry::instance();
+  static KindMetrics sweep{registry.counter("scenario.run.stcl_sweep"),
+                           registry.histogram("scenario.run.stcl_sweep_ns"),
+                           "scenario.run.stcl_sweep"};
+  static KindMetrics ptrace{registry.counter("scenario.run.ptrace"),
+                            registry.histogram("scenario.run.ptrace_ns"),
+                            "scenario.run.ptrace"};
+  static KindMetrics chained{registry.counter("scenario.run.chained"),
+                             registry.histogram("scenario.run.chained_ns"),
+                             "scenario.run.chained"};
+  static KindMetrics grid{registry.counter("scenario.run.grid_steady"),
+                          registry.histogram("scenario.run.grid_steady_ns"),
+                          "scenario.run.grid_steady"};
+  switch (kind) {
+    case RequestKind::kPtrace: return ptrace;
+    case RequestKind::kChained: return chained;
+    case RequestKind::kGridSteady: return grid;
+    case RequestKind::kStclSweep: break;
+  }
+  return sweep;
+}
+
+obs::Histogram& model_build_ns() {
+  static obs::Histogram& histogram =
+      obs::MetricsRegistry::instance().histogram("scenario.model_build_ns");
+  return histogram;
 }
 
 }  // namespace
@@ -167,6 +206,8 @@ std::shared_ptr<const thermal::RCModel> ScenarioRunner::model_for(
   // Built under the lock: assembly is O(n^2) matrix stamping, cheap next
   // to the O(n^3) factorizations, which happen later in the solver cache
   // *outside* any lock here.
+  obs::TraceSpan build_span("scenario.model_build");
+  obs::ScopedTimer build_timer(model_build_ns());
   auto model = std::make_shared<const thermal::RCModel>(soc.flp, soc.package);
   models_.emplace(key, CachedModel{model, ++use_counter_});
   ++stats_.model_misses;
@@ -197,6 +238,8 @@ std::shared_ptr<const thermal::GridThermalModel> ScenarioRunner::grid_model_for(
   // cells), so even a 100k-node build under the lock stays O(nnz); the
   // expensive fill-ordered factorization happens later in the solver
   // cache, outside this mutex.
+  obs::TraceSpan build_span("scenario.model_build");
+  obs::ScopedTimer build_timer(model_build_ns());
   auto model = std::make_shared<const thermal::GridThermalModel>(
       soc.flp, soc.package, thermal::GridOptions{grid.rows, grid.cols});
   grids_.emplace(key, CachedGrid{model, ++use_counter_});
@@ -367,6 +410,10 @@ void run_grid_steady(const ScenarioRequest& request, const core::SocSpec& soc,
 }  // namespace
 
 ScenarioResult ScenarioRunner::run(const ScenarioRequest& request) {
+  KindMetrics& metrics = kind_metrics(request.kind);
+  obs::TraceSpan run_span(metrics.span_name);
+  obs::ScopedTimer run_timer(metrics.run_ns);
+  metrics.runs.add();
   ScenarioResult result;
   result.id = request.id;
   result.kind = request.kind;

@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "dispatch/disk_result_memo.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "scenario/cost.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
@@ -70,17 +72,29 @@ bool record_is_ok(const std::string& record) {
 ServeSummary serve_stream(std::istream& in, std::ostream& out,
                           ScenarioRunner& runner, const ServeOptions& options) {
   const auto batch_start = std::chrono::steady_clock::now();
+  obs::TraceSpan batch_span("serve.batch");
+  auto& registry = obs::MetricsRegistry::instance();
+  static obs::Counter& requests_metric = registry.counter("scenario.requests");
+  static obs::Counter& parse_errors_metric =
+      registry.counter("scenario.parse_errors");
+  static obs::Histogram& parse_ns = registry.histogram("scenario.parse_ns");
 
   std::vector<PreparedLine> lines;
-  std::string raw;
-  std::size_t number = 0;
-  while (std::getline(in, raw)) {
-    ++number;
-    if (!raw.empty() && raw.back() == '\r') raw.pop_back();  // CRLF input
-    if (trim(raw).empty()) continue;
-    lines.push_back(prepare_line(raw, number, options));
+  {
+    obs::TraceSpan parse_span("serve.parse");
+    std::string raw;
+    std::size_t number = 0;
+    while (std::getline(in, raw)) {
+      ++number;
+      if (!raw.empty() && raw.back() == '\r') raw.pop_back();  // CRLF input
+      if (trim(raw).empty()) continue;
+      const obs::ScopedTimer line_timer(parse_ns);
+      lines.push_back(prepare_line(raw, number, options));
+      if (!lines.back().valid) parse_errors_metric.add();
+    }
   }
   const std::size_t n = lines.size();
+  requests_metric.add(n);
 
   // Job descriptions for the engine: the canonical serialization is the
   // memo's content address (identical bytes ⇔ identical record — the
@@ -161,6 +175,7 @@ ServeSummary serve_stream(std::istream& in, std::ostream& out,
     timing.cost = jobs[i].cost;
     timing.wall_seconds = stats.timings[i].wall_seconds;
     timing.cpu_seconds = stats.timings[i].cpu_seconds;
+    timing.queue_wait_seconds = stats.timings[i].wait_seconds;
     timing.done_seconds = stats.timings[i].done_seconds;
     if (lines[i].valid && lines[i].request.deadline_s > 0.0) {
       timing.deadline_s = lines[i].request.deadline_s;
@@ -342,6 +357,7 @@ JsonValue serve_summary_to_json(const ServeSummary& summary) {
     t.set("cost", JsonValue::number(timing.cost));
     t.set("wall_s", JsonValue::number(timing.wall_seconds));
     t.set("cpu_s", JsonValue::number(timing.cpu_seconds));
+    t.set("queue_wait_s", JsonValue::number(timing.queue_wait_seconds));
     t.set("done_s", JsonValue::number(timing.done_seconds));
     if (timing.deadline_s > 0.0) {
       t.set("deadline_s", JsonValue::number(timing.deadline_s));
@@ -350,6 +366,12 @@ JsonValue serve_summary_to_json(const ServeSummary& summary) {
     timings.append(std::move(t));
   }
   out.set("request_timings", std::move(timings));
+
+  // Process-wide metrics snapshot (additive to schema v1): the obs
+  // registry's counters/gauges/histograms at dump time. Counters are
+  // process totals — in a one-shot `thermosched serve` they equal this
+  // batch's stats exactly (bench_obs cross-checks that).
+  out.set("metrics", obs::MetricsRegistry::instance().to_json());
   return out;
 }
 

@@ -86,6 +86,10 @@ struct RequestTiming {
                               ///< or seconds once a calibrator is warm)
   double wall_seconds = 0.0;  ///< execution wall time (0 on memo hits)
   double cpu_seconds = 0.0;   ///< executing thread's CPU time
+  /// Execution-window start to execution start (same steady clock as
+  /// done_seconds; 0 on memo hits) — the part of a request's latency
+  /// the scheduling policy controls.
+  double queue_wait_seconds = 0.0;
   /// When this request's record existed, as an offset from the start of
   /// the execution window (0 for planning-time memo hits) — the clock
   /// deadline_s is scored against.

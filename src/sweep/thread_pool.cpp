@@ -1,7 +1,12 @@
 #include "sweep/thread_pool.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <string>
 #include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace thermo::sweep {
 
@@ -11,7 +16,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
   }
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -42,7 +47,14 @@ void ThreadPool::wait_idle() {
   }
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t worker_index) {
+  // Metric lookups happen once per worker lifetime, not per task; the
+  // per-worker busy counter makes load imbalance visible by name.
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::instance();
+  obs::Counter& tasks = registry.counter("sweep.tasks");
+  obs::Histogram& task_ns = registry.histogram("sweep.task_ns");
+  obs::Counter& busy_ns = registry.counter(
+      "sweep.worker." + std::to_string(worker_index) + ".busy_ns");
   std::unique_lock lock(mutex_);
   for (;;) {
     wake_workers_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
@@ -51,11 +63,22 @@ void ThreadPool::worker_loop() {
     queue_.pop_front();
     ++running_;
     lock.unlock();
-    try {
-      task();
-    } catch (...) {
-      std::scoped_lock error_lock(mutex_);
-      if (!first_error_) first_error_ = std::current_exception();
+    const bool timed = obs::enabled();
+    const std::uint64_t task_start = timed ? obs::now_ns() : 0;
+    {
+      obs::TraceSpan span("sweep.task");
+      try {
+        task();
+      } catch (...) {
+        std::scoped_lock error_lock(mutex_);
+        if (!first_error_) first_error_ = std::current_exception();
+      }
+    }
+    if (timed) {
+      const std::uint64_t elapsed = obs::now_ns() - task_start;
+      tasks.add();
+      task_ns.record(elapsed);
+      busy_ns.add(elapsed);
     }
     lock.lock();
     --running_;

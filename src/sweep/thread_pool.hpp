@@ -45,7 +45,7 @@ class ThreadPool {
   void wait_idle();
 
  private:
-  void worker_loop();
+  void worker_loop(std::size_t worker_index);
 
   std::mutex mutex_;
   std::condition_variable wake_workers_;

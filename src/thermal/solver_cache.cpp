@@ -3,6 +3,8 @@
 #include <cstring>
 #include <tuple>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace thermo::thermal {
@@ -14,6 +16,26 @@ std::uint64_t bits_of(double dt) {
   static_assert(sizeof(bits) == sizeof(dt));
   std::memcpy(&bits, &dt, sizeof(bits));
   return bits;
+}
+
+/// Cache observability (docs/OBSERVABILITY.md): hit/miss/eviction
+/// counts plus the wall time of the factorizations the cache exists to
+/// amortize.
+struct CacheMetrics {
+  obs::Counter& hits;
+  obs::Counter& misses;
+  obs::Counter& evictions;
+  obs::Histogram& factor_ns;
+};
+
+CacheMetrics& cache_metrics() {
+  auto& registry = obs::MetricsRegistry::instance();
+  static CacheMetrics metrics{
+      registry.counter("thermal.solver_cache.hits"),
+      registry.counter("thermal.solver_cache.misses"),
+      registry.counter("thermal.solver_cache.evictions"),
+      registry.histogram("thermal.factor_ns")};
+  return metrics;
 }
 
 }  // namespace
@@ -35,21 +57,29 @@ ThermalSolverCache::ThermalSolverCache(std::size_t capacity)
 
 std::shared_ptr<const void> ThermalSolverCache::lookup(
     const Key& key, const std::function<std::shared_ptr<const void>()>& make) {
+  CacheMetrics& metrics = cache_metrics();
   {
     std::scoped_lock lock(mutex_);
     ++tick_;
     if (auto it = entries_.find(key); it != entries_.end()) {
       ++hits_;
+      metrics.hits.add();
       it->second.last_used = tick_;
       return it->second.value;
     }
     ++misses_;
+    metrics.misses.add();
   }
   // Factor OUTSIDE the lock: an O(n^3) factorization must not stall
   // every other worker's cache lookup. Two threads racing the same key
   // may both factor; the first insert wins and both share its result
   // (the loser's work is discarded — rare, and merely wasted cycles).
-  std::shared_ptr<const void> value = make();
+  std::shared_ptr<const void> value;
+  {
+    obs::TraceSpan factor_span("thermal.factor");
+    obs::ScopedTimer factor_timer(metrics.factor_ns);
+    value = make();
+  }
   std::scoped_lock lock(mutex_);
   const auto [it, inserted] = entries_.try_emplace(key, Entry{value, tick_});
   if (!inserted) {
@@ -65,6 +95,7 @@ std::shared_ptr<const void> ThermalSolverCache::lookup(
       }
     }
     entries_.erase(oldest);
+    metrics.evictions.add();
   }
   return value;
 }

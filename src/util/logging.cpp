@@ -23,6 +23,9 @@ Logger& Logger::instance() {
 
 void Logger::write(LogLevel level, const std::string& message) {
   if (!enabled(level)) return;
+  // Serialize the whole line: worker threads log concurrently (serve,
+  // sweep), and a shared ostream offers no atomicity of its own.
+  const std::lock_guard<std::mutex> lock(write_mutex_);
   std::ostream& out = sink_ != nullptr ? *sink_ : std::cerr;
   out << "[thermo:" << log_level_name(level) << "] " << message << '\n';
 }

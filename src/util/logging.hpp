@@ -2,6 +2,7 @@
 // binaries can keep stdout clean for machine-readable results.
 #pragma once
 
+#include <mutex>
 #include <ostream>
 #include <sstream>
 #include <string>
@@ -13,9 +14,11 @@ enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
 /// Returns a human-readable name ("info", "warn"...) for a level.
 const char* log_level_name(LogLevel level);
 
-/// Global logger configuration. Not thread-safe by design: configure once
-/// at startup, log from one thread (all ThermoSched algorithms are
-/// single-threaded).
+/// Global logger. Configure (set_level/set_sink) once at startup, from
+/// one thread; write() — and therefore the THERMO_* macros — may then
+/// be called concurrently: a mutex serializes sink writes, so messages
+/// from serve/sweep worker threads come out whole, never interleaved
+/// (tests/util_logging_test.cpp hammers this).
 class Logger {
  public:
   static Logger& instance();
@@ -35,6 +38,7 @@ class Logger {
   Logger() = default;
   LogLevel level_ = LogLevel::kWarn;
   std::ostream* sink_ = nullptr;
+  std::mutex write_mutex_;  ///< one message = one uninterleaved line
 };
 
 namespace detail {
